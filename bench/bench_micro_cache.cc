@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark): throughput of the primitives the
+// simulator's inner loops live on - placement functions, cache accesses,
+// Benes permutation construction, PRNG steps.
+//
+// These are engineering benchmarks for the library itself (the paper's
+// hardware latencies are modeled, not measured); they guard against
+// regressions that would make the 1e5..1e7-sample experiments impractical.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/benes.h"
+#include "cache/builder.h"
+#include "cache/placement.h"
+#include "rng/rng.h"
+
+namespace {
+
+using namespace tsc;
+
+void BM_Placement(benchmark::State& state, cache::PlacementKind kind) {
+  const cache::Geometry geo = cache::l1_geometry_arm920t();
+  const auto placement = cache::make_placement(kind, geo);
+  Addr line = 0x12345;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement->set_index(line, Seed{seed}));
+    line += 37;
+    seed += (line & 0xFF) == 0 ? 1 : 0;  // occasional seed change
+  }
+}
+BENCHMARK_CAPTURE(BM_Placement, modulo, cache::PlacementKind::kModulo);
+BENCHMARK_CAPTURE(BM_Placement, xor_index, cache::PlacementKind::kXorIndex);
+BENCHMARK_CAPTURE(BM_Placement, hashrp, cache::PlacementKind::kHashRp);
+BENCHMARK_CAPTURE(BM_Placement, random_modulo,
+                  cache::PlacementKind::kRandomModulo);
+
+void BM_CacheAccess(benchmark::State& state, cache::MapperKind mapper) {
+  cache::CacheSpec spec;
+  spec.config.geometry = cache::l1_geometry_arm920t();
+  spec.mapper = mapper;
+  spec.replacement = mapper == cache::MapperKind::kModulo
+                         ? cache::ReplacementKind::kLru
+                         : cache::ReplacementKind::kRandom;
+  auto rng = std::make_shared<rng::XorShift64Star>(1);
+  auto cache_model = cache::build_cache(spec, rng);
+  Addr addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache_model->access(ProcId{1}, addr, false));
+    addr = (addr + 4096 + 32) & 0xFFFFF;  // mixes hits and misses
+  }
+}
+BENCHMARK_CAPTURE(BM_CacheAccess, modulo_lru, cache::MapperKind::kModulo);
+BENCHMARK_CAPTURE(BM_CacheAccess, rm_random, cache::MapperKind::kRandomModulo);
+BENCHMARK_CAPTURE(BM_CacheAccess, hashrp_random, cache::MapperKind::kHashRp);
+BENCHMARK_CAPTURE(BM_CacheAccess, rpcache, cache::MapperKind::kRpCache);
+
+void BM_BenesPermutation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t driver = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache::benes_permutation(n, driver++));
+  }
+}
+BENCHMARK(BM_BenesPermutation)->Arg(7)->Arg(11)->Arg(16);
+
+void BM_Rng(benchmark::State& state, rng::Kind kind) {
+  auto g = rng::make_rng(kind, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->next_u64());
+  }
+}
+BENCHMARK_CAPTURE(BM_Rng, xorshift, rng::Kind::kXorShift64Star);
+BENCHMARK_CAPTURE(BM_Rng, pcg32, rng::Kind::kPcg32);
+BENCHMARK_CAPTURE(BM_Rng, lfsr16, rng::Kind::kLfsr16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

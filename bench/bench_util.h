@@ -1,0 +1,36 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every bench prints the paper artifact it reproduces, runs at a default
+// scale chosen to finish in tens of seconds, and honours two environment
+// variables:
+//   TSC_SAMPLES  - override the per-side sample count of attack campaigns
+//   TSC_FAST=1   - shrink everything for smoke runs
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tsc::bench {
+
+/// Samples per campaign side, honouring TSC_SAMPLES / TSC_FAST.
+inline std::size_t campaign_samples(std::size_t standard) {
+  if (const char* env = std::getenv("TSC_SAMPLES")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  if (const char* fast = std::getenv("TSC_FAST"); fast && fast[0] == '1') {
+    return standard / 8;
+  }
+  return standard;
+}
+
+/// Header block naming the paper artifact.
+inline void banner(const char* artifact, const char* description) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("%s\n", description);
+  std::printf("=====================================================================\n");
+}
+
+}  // namespace tsc::bench

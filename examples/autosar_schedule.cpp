@@ -1,0 +1,62 @@
+// The paper's Figure 3 application, scheduled live: per-SWC seeds, context
+// switches, and the once-per-hyperperiod reseed + flush.
+//
+//   $ ./examples/autosar_schedule
+#include <cstdio>
+#include <memory>
+
+#include "os/autosar.h"
+#include "rng/rng.h"
+
+int main() {
+  using namespace tsc;
+
+  std::printf("AUTOSAR seed management demo (paper Fig. 3)\n\n");
+
+  sim::Machine machine(
+      sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                          cache::MapperKind::kHashRp,
+                          cache::ReplacementKind::kRandom),
+      std::make_shared<rng::XorShift64Star>(7));
+
+  // Build a custom two-SWC application: a 5ms control loop and a 10ms
+  // logger, communicating only via message passing (hence: separate seeds).
+  os::AppSpec app;
+  app.swcs.push_back(
+      {"control",
+       {{"sense", 5'000, os::make_touch_workload(0x100000, 0x200000, 48, 80)},
+        {"act", 5'000, os::make_touch_workload(0x110000, 0x210000, 16, 30)}}});
+  app.swcs.push_back(
+      {"logger",
+       {{"log", 10'000, os::make_touch_workload(0x120000, 0x220000, 96, 50)}}});
+
+  os::CyclicExecutive exec(machine, app, os::SeedPolicy::kPerSwcHyperperiod,
+                           2024);
+  std::printf("hyperperiod: %llu cycles\n",
+              static_cast<unsigned long long>(exec.hyperperiod()));
+  std::printf("control SWC seed: %016llx\n",
+              static_cast<unsigned long long>(exec.seed_of("control").value));
+  std::printf("logger  SWC seed: %016llx  (never equal: per-SWC policy)\n\n",
+              static_cast<unsigned long long>(exec.seed_of("logger").value));
+
+  exec.run(4);
+
+  std::printf("%-4s %-7s %-8s %10s %10s\n", "hp", "swc", "runnable", "release",
+              "cycles");
+  for (const os::JobRecord& job : exec.trace().jobs) {
+    std::printf("%-4llu %-7s %-8s %10llu %10llu\n",
+                static_cast<unsigned long long>(job.hyperperiod_index),
+                job.swc.c_str(), job.runnable.c_str(),
+                static_cast<unsigned long long>(job.release),
+                static_cast<unsigned long long>(job.duration));
+  }
+
+  std::printf("\ncontext switches: %llu, reseeds: %llu, flushes: %llu\n",
+              static_cast<unsigned long long>(exec.trace().context_switches),
+              static_cast<unsigned long long>(exec.trace().seed_changes),
+              static_cast<unsigned long long>(exec.trace().flushes));
+  std::printf("Note how job durations vary across hyperperiods (new random\n"
+              "layouts) while remaining comparable within one hyperperiod\n"
+              "(same seed, warm cache after the first job).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// MBPTA from measurement to pWCET, end to end, on a real program: a TSISA
+// buffer-scan kernel whose working set exceeds the L1, run once per random
+// cache layout.  (A kernel that fits L1 costs only compulsory misses, has
+// literally constant timing, and gives MBPTA nothing to model - run the
+// experiment with a small kernel and the i.i.d. gate will tell you so.)
+//
+//   $ ./examples/pwcet_analysis
+#include <cstdio>
+#include <vector>
+
+#include "core/setup.h"
+#include "isa/interpreter.h"
+#include "isa/kernels.h"
+#include "mbpta/analysis.h"
+
+int main() {
+  using namespace tsc;
+
+  std::printf("MBPTA walkthrough: pWCET of a 32KB sensor-buffer scan\n\n");
+
+  constexpr unsigned kRuns = 500;
+  std::vector<double> times;
+  times.reserve(kRuns);
+
+  for (unsigned r = 0; r < kRuns; ++r) {
+    // MBPTA protocol (paper section 2.1): every run observes a fresh random
+    // cache layout, making analysis-time measurements probabilistically
+    // representative of any deployment-time memory placement.
+    core::Setup setup(core::SetupKind::kTsCache, rng::derive_seed(99, r));
+    setup.register_process(ProcId{1});
+    setup.machine().set_process(ProcId{1});
+
+    isa::Interpreter interp(setup.machine());
+    interp.load_program(isa::assemble(
+        isa::stride_walk_source(0x40000, 8192, 64, 32 * 1024), 0x1000));
+    const isa::RunResult result = interp.run(0x1000, 50'000'000);
+    if (result.reason != isa::StopReason::kHalt) {
+      std::fprintf(stderr, "kernel did not halt cleanly\n");
+      return 1;
+    }
+    times.push_back(static_cast<double>(result.cycles));
+  }
+
+  const mbpta::AnalysisReport report = mbpta::analyze(times);
+  std::printf("%s\n", mbpta::render_report(report).c_str());
+
+  if (report.mbpta_applicable()) {
+    std::printf("Timing budget suggestion: with a budget of %.0f cycles the\n"
+                "per-run overrun probability is below 1e-10 - the evidence\n"
+                "level safety arguments (ISO-26262) build on.\n",
+                report.pwcet(1e-10));
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Contention-based attack primitives: Prime+Probe and Evict+Time.
+//
+// Paper section 6.2.1 "Generalization": contention attacks "rely on
+// deterministic eviction of controlled cache lines.  Hence, Prime-Probe and
+// Evict-Time attacks, both contention-based, are thwarted by using secure
+// time-predictable caches since the cache layouts of different processes are
+// completely independent and randomized."
+//
+// The experiments here quantify that claim: a victim accesses one secret
+// line out of N candidates; the attacker infers which using cache contention
+// only.  Because randomized placements make analytic set math useless, the
+// attacker first *calibrates* - it observes trials with known secrets and
+// learns the mapping from its observable (which of its lines got evicted /
+// which eviction group slowed the victim) to the secret.  Calibration
+// transfers to the attack phase exactly when layouts are stable across runs:
+// that is the property TSCache's per-process seeds and reseeding destroy.
+//
+// Attack success is reported as inference accuracy over trials; chance level
+// is 1/candidates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "rng/rng.h"
+#include "sim/machine.h"
+
+namespace tsc::attack {
+
+/// Shared configuration for both contention attacks.
+struct ContentionConfig {
+  Addr victim_base = 0x0010'0000;    ///< N candidate lines, line-aligned
+  Addr attacker_base = 0x0020'0000;  ///< attacker-controlled array
+  Addr victim_code = 0x0030'0000;    ///< victim instruction addresses
+  Addr attacker_code = 0x0031'0000;  ///< attacker instruction addresses
+  unsigned candidates = 32;          ///< secret line count (N)
+  unsigned calibration_reps = 4;     ///< known-secret trials per candidate
+  unsigned trials = 128;             ///< unknown-secret attack trials
+};
+
+/// Result of an attack campaign.
+struct ContentionOutcome {
+  unsigned trials = 0;
+  unsigned correct = 0;
+
+  [[nodiscard]] double accuracy() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Invoked before every trial (calibration and attack); lets the caller
+/// apply the setup's seed policy, e.g. TSCache's per-job reseed + flush.
+using TrialHook = std::function<void()>;
+
+/// Prime+Probe: the attacker fills the data cache with its own lines, the
+/// victim performs one secret-dependent access, the attacker re-touches its
+/// lines and observes which one became slow.
+[[nodiscard]] ContentionOutcome run_prime_probe(sim::Machine& machine,
+                                                ProcId victim, ProcId attacker,
+                                                const ContentionConfig& config,
+                                                rng::Rng& rng,
+                                                const TrialHook& before_trial);
+
+/// Evict+Time: the attacker evicts one candidate eviction group (its own
+/// lines sharing a modulo index), then times the victim's run; the group
+/// that slows the victim identifies the secret's set.
+[[nodiscard]] ContentionOutcome run_evict_time(sim::Machine& machine,
+                                               ProcId victim, ProcId attacker,
+                                               const ContentionConfig& config,
+                                               rng::Rng& rng,
+                                               const TrialHook& before_trial);
+
+}  // namespace tsc::attack

@@ -1,0 +1,48 @@
+#include "attack/profile.h"
+
+#include <cassert>
+
+namespace tsc::attack {
+
+void TimingProfile::add(const crypto::Block& plaintext, double duration) {
+  for (int i = 0; i < kPositions; ++i) {
+    const auto v = static_cast<std::size_t>(plaintext[static_cast<std::size_t>(i)]);
+    sums_[static_cast<std::size_t>(i)][v] += duration;
+    ++counts_[static_cast<std::size_t>(i)][v];
+  }
+  total_sum_ += duration;
+  ++total_count_;
+}
+
+double TimingProfile::global_mean() const {
+  return total_count_ == 0 ? 0.0
+                           : total_sum_ / static_cast<double>(total_count_);
+}
+
+double TimingProfile::cell_mean(int pos, int value) const {
+  assert(pos >= 0 && pos < kPositions);
+  assert(value >= 0 && value < kValues);
+  const auto p = static_cast<std::size_t>(pos);
+  const auto v = static_cast<std::size_t>(value);
+  if (counts_[p][v] == 0) return global_mean();
+  return sums_[p][v] / static_cast<double>(counts_[p][v]);
+}
+
+double TimingProfile::deviation(int pos, int value) const {
+  const auto p = static_cast<std::size_t>(pos);
+  const auto v = static_cast<std::size_t>(value);
+  if (counts_[p][v] == 0) return 0.0;
+  return cell_mean(pos, value) - global_mean();
+}
+
+std::uint64_t TimingProfile::cell_count(int pos, int value) const {
+  return counts_[static_cast<std::size_t>(pos)][static_cast<std::size_t>(value)];
+}
+
+std::vector<double> TimingProfile::deviation_row(int pos) const {
+  std::vector<double> row(kValues);
+  for (int v = 0; v < kValues; ++v) row[static_cast<std::size_t>(v)] = deviation(pos, v);
+  return row;
+}
+
+}  // namespace tsc::attack

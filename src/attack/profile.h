@@ -1,0 +1,54 @@
+// Timing profiles for the Bernstein attack (paper section 6.1.1):
+// "basically extracting for each 16-byte input value the average computation
+// time per byte and value".
+//
+// A TimingProfile accumulates (plaintext, duration) pairs and yields, for
+// every byte position i and byte value v, the mean duration of encryptions
+// whose i-th plaintext byte was v, expressed as a deviation from the global
+// mean (Figure 4 plots exactly these deviations for byte 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes.h"
+
+namespace tsc::attack {
+
+/// Per-(position, value) aggregated timing statistics.
+class TimingProfile {
+ public:
+  static constexpr int kPositions = 16;
+  static constexpr int kValues = 256;
+
+  /// Record one encryption: the plaintext used and the cycles it took.
+  void add(const crypto::Block& plaintext, double duration);
+
+  /// Mean duration over samples with plaintext[pos] == value, minus the
+  /// global mean duration.  Returns 0 for cells that received no samples.
+  [[nodiscard]] double deviation(int pos, int value) const;
+
+  /// Raw per-cell mean (not centered).  Returns the global mean for empty
+  /// cells so downstream math stays finite.
+  [[nodiscard]] double cell_mean(int pos, int value) const;
+
+  /// Number of samples recorded for a cell.
+  [[nodiscard]] std::uint64_t cell_count(int pos, int value) const;
+
+  /// Global mean duration across all samples.
+  [[nodiscard]] double global_mean() const;
+
+  [[nodiscard]] std::uint64_t samples() const { return total_count_; }
+
+  /// The 256-entry deviation row for one byte position (Figure 4's series).
+  [[nodiscard]] std::vector<double> deviation_row(int pos) const;
+
+ private:
+  std::array<std::array<double, kValues>, kPositions> sums_{};
+  std::array<std::array<std::uint64_t, kValues>, kPositions> counts_{};
+  double total_sum_ = 0;
+  std::uint64_t total_count_ = 0;
+};
+
+}  // namespace tsc::attack

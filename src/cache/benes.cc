@@ -1,0 +1,95 @@
+#include "cache/benes.h"
+
+#include <cassert>
+#include <numeric>
+#include <utility>
+
+namespace tsc::cache {
+namespace {
+
+std::uint64_t splitmix_step(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void benes_recurse(std::vector<std::uint32_t>& v, ControlBits& ctrl) {
+  const std::size_t n = v.size();
+  if (n <= 1) return;
+  if (n == 2) {
+    if (ctrl.next()) std::swap(v[0], v[1]);
+    return;
+  }
+  // Input switch stage: adjacent pairs; an odd trailing element bypasses.
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    if (ctrl.next()) std::swap(v[i], v[i + 1]);
+  }
+  // Split into the two half-size subnetworks.
+  std::vector<std::uint32_t> top;
+  std::vector<std::uint32_t> bot;
+  top.reserve(n / 2);
+  bot.reserve((n + 1) / 2);
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    top.push_back(v[i]);
+    bot.push_back(v[i + 1]);
+  }
+  if (n % 2 != 0) bot.push_back(v[n - 1]);
+  benes_recurse(top, ctrl);
+  benes_recurse(bot, ctrl);
+  // Merge and output switch stage.
+  for (std::size_t i = 0; i < top.size(); ++i) v[2 * i] = top[i];
+  for (std::size_t i = 0; 2 * i + 1 < n; ++i) v[2 * i + 1] = bot[i];
+  if (n % 2 != 0) v[n - 1] = bot.back();
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    if (ctrl.next()) std::swap(v[i], v[i + 1]);
+  }
+}
+
+}  // namespace
+
+bool ControlBits::next() {
+  if (available_ == 0) {
+    buffer_ = splitmix_step(state_);
+    available_ = 64;
+  }
+  const bool bit = (buffer_ & 1) != 0;
+  buffer_ >>= 1;
+  --available_;
+  return bit;
+}
+
+std::size_t benes_switch_count(std::size_t n) {
+  if (n <= 1) return 0;
+  if (n == 2) return 1;
+  const std::size_t pairs = n / 2;
+  return 2 * pairs + benes_switch_count(n / 2) +
+         benes_switch_count((n + 1) / 2);
+}
+
+std::vector<std::uint32_t> benes_permute(std::span<const std::uint32_t> items,
+                                         ControlBits& ctrl) {
+  std::vector<std::uint32_t> v(items.begin(), items.end());
+  benes_recurse(v, ctrl);
+  return v;
+}
+
+std::vector<std::uint32_t> benes_permutation(std::size_t n,
+                                             std::uint64_t drv) {
+  std::vector<std::uint32_t> identity(n);
+  std::iota(identity.begin(), identity.end(), 0u);
+  ControlBits ctrl(drv);
+  return benes_permute(identity, ctrl);
+}
+
+std::uint32_t apply_bit_permutation(std::uint32_t value,
+                                    std::span<const std::uint32_t> perm) {
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    assert(perm[i] < perm.size());
+    out |= ((value >> perm[i]) & 1u) << i;
+  }
+  return out;
+}
+
+}  // namespace tsc::cache

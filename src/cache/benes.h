@@ -1,0 +1,58 @@
+// Benes/Waksman rearrangeable permutation network (Benes 1964, paper ref [4]).
+//
+// Random Modulo placement (paper Fig. 2b) feeds the seed-XORed index bits of
+// an address into a Benes network whose switches are driven by the seed-XORed
+// tag bits.  Because the network output is always a *permutation* of its
+// inputs, the mapping index -> set is a bijection for any fixed tag, which is
+// what guarantees that two addresses in the same page can never collide
+// (mbpta-p3 property 1).
+//
+// We implement the arbitrary-size recursive construction (sizes that are not
+// powers of two appear when composing networks in tests), consuming control
+// bits from a caller-supplied deterministic stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tsc::cache {
+
+/// Deterministic stream of control bits for the network switches, expanded
+/// from a 64-bit driver value (tag XOR seed in RM).  Real hardware wires tag
+/// bits straight to switches; we expand through a SplitMix64 round so that
+/// every driver bit influences every switch, which only improves control
+/// diversity and keeps the permutation property untouched.
+class ControlBits {
+ public:
+  explicit ControlBits(std::uint64_t driver) : state_(driver) {}
+
+  /// Next control bit.
+  [[nodiscard]] bool next();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t buffer_ = 0;
+  unsigned available_ = 0;
+};
+
+/// Number of switches (= control bits consumed) of the network of size n.
+[[nodiscard]] std::size_t benes_switch_count(std::size_t n);
+
+/// Route `items` through a Benes network of size items.size(), consuming one
+/// control bit per switch.  The result is a permutation of the input for
+/// *every* control stream; which permutation depends on the stream.
+[[nodiscard]] std::vector<std::uint32_t> benes_permute(
+    std::span<const std::uint32_t> items, ControlBits& ctrl);
+
+/// Convenience: the permutation of {0..n-1} realized by driver value `drv`.
+[[nodiscard]] std::vector<std::uint32_t> benes_permutation(std::size_t n,
+                                                           std::uint64_t drv);
+
+/// Apply a bit-position permutation to the low `width` bits of `value`:
+/// output bit i takes input bit perm[i].  Precondition: perm is a
+/// permutation of {0..width-1}.
+[[nodiscard]] std::uint32_t apply_bit_permutation(
+    std::uint32_t value, std::span<const std::uint32_t> perm);
+
+}  // namespace tsc::cache

@@ -1,0 +1,76 @@
+#include "cache/builder.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tsc::cache {
+namespace {
+
+std::unique_ptr<IndexMapper> make_mapper(const CacheSpec& spec) {
+  const Geometry& g = spec.config.geometry;
+  switch (spec.mapper) {
+    case MapperKind::kModulo:
+      return std::make_unique<SeededMapper>(
+          make_placement(PlacementKind::kModulo, g), spec.default_seed);
+    case MapperKind::kXorIndex:
+      return std::make_unique<SeededMapper>(
+          make_placement(PlacementKind::kXorIndex, g), spec.default_seed);
+    case MapperKind::kHashRp:
+      return std::make_unique<SeededMapper>(
+          make_placement(PlacementKind::kHashRp, g), spec.default_seed);
+    case MapperKind::kRandomModulo:
+      return std::make_unique<SeededMapper>(
+          make_placement(PlacementKind::kRandomModulo, g), spec.default_seed);
+    case MapperKind::kRpCache:
+      return std::make_unique<RpCacheMapper>(g, spec.default_seed);
+  }
+  return nullptr;
+}
+
+bool needs_rng(const CacheSpec& spec) {
+  return spec.mapper == MapperKind::kRpCache ||
+         spec.replacement == ReplacementKind::kRandom ||
+         spec.replacement == ReplacementKind::kNmru ||
+         spec.config.random_fill_window > 0;
+}
+
+}  // namespace
+
+std::string CacheSpec::describe() const {
+  const Geometry& g = config.geometry;
+  return to_string(mapper) + "/" + to_string(replacement) + " " +
+         std::to_string(g.size_bytes() / 1024) + "KB " +
+         std::to_string(g.sets()) + "x" + std::to_string(g.ways()) + "w" +
+         std::to_string(g.line_bytes()) + "B";
+}
+
+std::unique_ptr<Cache> build_cache(const CacheSpec& spec,
+                                   std::shared_ptr<rng::Rng> rng) {
+  if (needs_rng(spec) && rng == nullptr) {
+    throw std::invalid_argument("cache design '" + spec.describe() +
+                                "' requires a random number generator");
+  }
+  auto mapper = make_mapper(spec);
+  auto repl = make_replacement(spec.replacement, spec.config.geometry.sets(),
+                               spec.config.geometry.ways(), rng);
+  return std::make_unique<Cache>(spec.config, std::move(mapper),
+                                 std::move(repl), std::move(rng));
+}
+
+std::string to_string(MapperKind kind) {
+  switch (kind) {
+    case MapperKind::kModulo:
+      return "modulo";
+    case MapperKind::kXorIndex:
+      return "xor-index";
+    case MapperKind::kHashRp:
+      return "hashRP";
+    case MapperKind::kRandomModulo:
+      return "random-modulo";
+    case MapperKind::kRpCache:
+      return "rpcache";
+  }
+  return "?";
+}
+
+}  // namespace tsc::cache

@@ -1,0 +1,200 @@
+#include "cache/cache.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tsc::cache {
+
+Cache::Cache(CacheConfig config, std::unique_ptr<IndexMapper> mapper,
+             std::unique_ptr<Replacement> replacement,
+             std::shared_ptr<rng::Rng> rng)
+    : config_(config),
+      mapper_(std::move(mapper)),
+      replacement_(std::move(replacement)),
+      rng_(std::move(rng)),
+      lines_(static_cast<std::size_t>(config.geometry.sets()) *
+             config.geometry.ways()) {
+  assert(mapper_ != nullptr);
+  assert(replacement_ != nullptr);
+  assert((!mapper_->secure_contention_policy() || rng_ != nullptr) &&
+         "the secure contention rule draws random sets/ways");
+  assert((config_.random_fill_window == 0 || rng_ != nullptr) &&
+         "random fill draws random neighbour lines");
+}
+
+AccessResult Cache::access(ProcId proc, Addr addr, bool write) {
+  const Geometry& geo = config_.geometry;
+  const Addr line = geo.line_addr(addr);
+  const std::uint32_t set = mapper_->map(line, proc);
+  assert(set < geo.sets());
+
+  AccessResult result;
+  result.set = set;
+  ++stats_.accesses;
+
+  // Lookup.
+  for (std::uint32_t w = 0; w < geo.ways(); ++w) {
+    Line& l = line_at(set, w);
+    if (l.valid && l.line_addr == line) {
+      ++stats_.hits;
+      result.hit = true;
+      replacement_->touch(set, w);
+      if (write && config_.write_back) l.dirty = true;
+      return result;
+    }
+  }
+
+  // Miss.
+  ++stats_.misses;
+  if (write && !config_.write_allocate) {
+    result.allocated = false;
+    return result;  // write-around: memory handles it
+  }
+
+  if (config_.random_fill_window > 0 && !write) {
+    // Random-fill [18]: serve the demand from memory without caching it;
+    // bring in a random neighbour instead, decoupling fills from accesses.
+    const std::uint64_t span = 2ULL * config_.random_fill_window + 1;
+    const Addr fill_line_addr =
+        line - config_.random_fill_window + rng_->next_below(span);
+    const std::uint32_t fill_set = mapper_->map(fill_line_addr, proc);
+    if (!contains_line(proc, fill_line_addr, fill_set)) {
+      fill_line(proc, fill_line_addr, fill_set, /*dirty=*/false, result);
+    }
+    result.allocated = false;
+    return result;
+  }
+
+  fill_line(proc, line, set, write && config_.write_back, result);
+  return result;
+}
+
+bool Cache::contains_line(ProcId, Addr line, std::uint32_t set) const {
+  for (std::uint32_t w = 0; w < config_.geometry.ways(); ++w) {
+    const Line& l = line_at(set, w);
+    if (l.valid && l.line_addr == line) return true;
+  }
+  return false;
+}
+
+void Cache::fill_line(ProcId proc, Addr line, std::uint32_t set, bool dirty,
+                      AccessResult& result) {
+  const Geometry& geo = config_.geometry;
+  std::uint32_t first = 0;
+  std::uint32_t count = geo.ways();
+  const auto part = partitions_.find(proc);
+  if (part != partitions_.end()) {
+    first = part->second.first;
+    count = part->second.count;
+  }
+
+  // Prefer an invalid way inside the allowed range.
+  std::uint32_t way = geo.ways();
+  for (std::uint32_t w = first; w < first + count; ++w) {
+    if (!line_at(set, w).valid) {
+      way = w;
+      break;
+    }
+  }
+
+  if (way == geo.ways()) {
+    if (part == partitions_.end()) {
+      way = replacement_->victim(set);
+    } else {
+      // Within a partition the global replacement metadata cannot be
+      // trusted (it may point outside the range): round-robin instead.
+      way = first + (partition_rr_[set]++ % count);
+    }
+    assert(way >= first && way < first + count);
+    Line& victim = line_at(set, way);
+    if (victim.valid && victim.owner != proc &&
+        mapper_->secure_contention_policy()) {
+      // RPCache rule: this replacement would leak the victim process's set
+      // usage.  Do not allocate; disturb a random (set, way) instead.
+      ++stats_.contention_evictions;
+      const auto rset =
+          static_cast<std::uint32_t>(rng_->next_below(geo.sets()));
+      const auto rway =
+          static_cast<std::uint32_t>(rng_->next_below(geo.ways()));
+      if (line_at(rset, rway).valid) evict(rset, rway, result);
+      result.allocated = false;
+      return;
+    }
+    evict(set, way, result);
+  }
+
+  Line& dest = line_at(set, way);
+  dest.line_addr = line;
+  dest.owner = proc;
+  dest.valid = true;
+  dest.dirty = dirty;
+  replacement_->fill(set, way);
+}
+
+bool Cache::contains(ProcId proc, Addr addr) {
+  const Geometry& geo = config_.geometry;
+  const Addr line = geo.line_addr(addr);
+  const std::uint32_t set = mapper_->map(line, proc);
+  for (std::uint32_t w = 0; w < geo.ways(); ++w) {
+    const Line& l = line_at(set, w);
+    if (l.valid && l.line_addr == line) return true;
+  }
+  return false;
+}
+
+void Cache::evict(std::uint32_t set, std::uint32_t way, AccessResult& result) {
+  Line& victim = line_at(set, way);
+  assert(victim.valid);
+  ++stats_.evictions;
+  if (victim.dirty) {
+    ++stats_.writebacks;
+    result.writeback = true;
+  }
+  result.evicted = victim.line_addr;
+  victim.valid = false;
+  victim.dirty = false;
+}
+
+std::uint64_t Cache::flush() {
+  ++stats_.flushes;
+  std::uint64_t count = 0;
+  for (Line& l : lines_) {
+    if (l.valid) {
+      ++count;
+      if (l.dirty) ++stats_.writebacks;
+    }
+    l.valid = false;
+    l.dirty = false;
+  }
+  stats_.flushed_lines += count;
+  replacement_->reset();
+  return count;
+}
+
+void Cache::set_seed(ProcId proc, Seed seed) { mapper_->set_seed(proc, seed); }
+
+void Cache::set_way_partition(ProcId proc, std::uint32_t first_way,
+                              std::uint32_t way_count) {
+  assert(way_count >= 1);
+  assert(first_way + way_count <= config_.geometry.ways());
+  partitions_[proc] = Partition{first_way, way_count};
+  if (partition_rr_.empty()) {
+    partition_rr_.assign(config_.geometry.sets(), 0);
+  }
+}
+
+void Cache::clear_way_partition(ProcId proc) { partitions_.erase(proc); }
+
+std::string Cache::name() const {
+  return mapper_->name() + "/" + replacement_->name();
+}
+
+std::uint64_t Cache::valid_lines() const {
+  std::uint64_t n = 0;
+  for (const Line& l : lines_) {
+    if (l.valid) ++n;
+  }
+  return n;
+}
+
+}  // namespace tsc::cache

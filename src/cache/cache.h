@@ -1,0 +1,164 @@
+// Set-associative cache model with pluggable placement and replacement.
+//
+// This is a *timing* model: lines carry addresses, validity, dirtiness and
+// an owner process, but no data (the workloads compute functionally on host
+// memory and replay their access streams here).  One access = one lookup in
+// the mapped set; the model reports hit/miss plus eviction/writeback events
+// so the hierarchy can account latencies and the experiments can count
+// contention events.
+//
+// The RPCache secure-contention rule (paper section 3 / ref [27]) is
+// implemented here: on a miss whose replacement victim belongs to a process
+// other than the requester, the incoming line is NOT allocated and a random
+// line from a random set is evicted instead, hiding which set the victim
+// contended on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "cache/mapper.h"
+#include "cache/replacement.h"
+#include "common/types.h"
+#include "rng/rng.h"
+
+namespace tsc::cache {
+
+/// Outcome of one cache access, consumed by the hierarchy's latency model.
+struct AccessResult {
+  bool hit = false;
+  bool writeback = false;        ///< a dirty line was evicted
+  std::uint32_t set = 0;         ///< set consulted
+  bool allocated = true;         ///< false under the secure contention rule
+  std::optional<Addr> evicted;   ///< line address evicted, if any
+};
+
+/// Event counters (reset together with the cache).
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t contention_evictions = 0;  ///< RPCache secure-rule firings
+  std::uint64_t flushes = 0;
+  std::uint64_t flushed_lines = 0;
+
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Configuration of one cache level.
+struct CacheConfig {
+  Geometry geometry{16 * 1024, 4, 32};
+  bool write_back = true;      ///< false: write-through (no dirty state)
+  bool write_allocate = true;  ///< false: write misses bypass the cache
+  /// Random-fill cache (Liu & Lee, MICRO'14 - paper ref [18]): when > 0, a
+  /// demand miss does NOT cache the requested line; instead a random line
+  /// within +/- window lines of it is brought in.  Decouples the fill
+  /// pattern from the access pattern (a security measure from the related
+  /// work), at an obvious reuse cost.
+  std::uint32_t random_fill_window = 0;
+};
+
+/// The cache model.
+class Cache {
+ public:
+  /// `mapper` decides sets; `replacement` picks victims; `rng` feeds the
+  /// secure contention rule (required when the mapper demands it).
+  Cache(CacheConfig config, std::unique_ptr<IndexMapper> mapper,
+        std::unique_ptr<Replacement> replacement,
+        std::shared_ptr<rng::Rng> rng = nullptr);
+
+  /// Perform a read (write=false) or write access.
+  AccessResult access(ProcId proc, Addr addr, bool write);
+
+  /// Does the cache currently hold the line containing `addr` for `proc`?
+  /// Does not update replacement state or statistics.  (Not const because
+  /// RPCache mappers materialize per-process tables lazily.)
+  [[nodiscard]] bool contains(ProcId proc, Addr addr);
+
+  /// Write back everything dirty and invalidate all lines (paper section 5:
+  /// done once per hyperperiod together with the reseed).  Returns the
+  /// number of lines that were valid.
+  std::uint64_t flush();
+
+  /// Change the placement seed of a process.  The caller (OS model) decides
+  /// whether a flush must accompany the change for consistency.
+  void set_seed(ProcId proc, Seed seed);
+  [[nodiscard]] Seed seed(ProcId proc) const { return mapper_->seed(proc); }
+
+  /// Way partitioning (the related-work isolation baseline, paper ref [20]):
+  /// restrict `proc` to ways [first_way, first_way + way_count).  Its lines
+  /// are then only ever *installed* in those ways, so processes with
+  /// disjoint partitions cannot evict each other - at the cost of reduced
+  /// effective associativity (the drawback section 7 discusses).  Within a
+  /// partition, eviction is round-robin.  Lookups still search every way.
+  /// Precondition: the range is inside the geometry's way count.
+  void set_way_partition(ProcId proc, std::uint32_t first_way,
+                         std::uint32_t way_count);
+  /// Remove a process's partition restriction.
+  void clear_way_partition(ProcId proc);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  [[nodiscard]] const Geometry& geometry() const { return config_.geometry; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] std::string name() const;
+
+  /// Number of valid lines currently held (tests/diagnostics).
+  [[nodiscard]] std::uint64_t valid_lines() const;
+
+ private:
+  struct Line {
+    Addr line_addr = 0;
+    ProcId owner{};
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] Line& line_at(std::uint32_t set, std::uint32_t way) {
+    return lines_[static_cast<std::size_t>(set) * config_.geometry.ways() +
+                  way];
+  }
+  [[nodiscard]] const Line& line_at(std::uint32_t set,
+                                    std::uint32_t way) const {
+    return lines_[static_cast<std::size_t>(set) * config_.geometry.ways() +
+                  way];
+  }
+
+  void evict(std::uint32_t set, std::uint32_t way, AccessResult& result);
+
+  /// Install `line` for `proc` somewhere legal in `set`.
+  void fill_line(ProcId proc, Addr line, std::uint32_t set, bool dirty,
+                 AccessResult& result);
+
+  /// Is `line` already present in `set`?  (Pure array scan, no stats.)
+  [[nodiscard]] bool contains_line(ProcId proc, Addr line,
+                                   std::uint32_t set) const;
+
+  struct Partition {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
+  CacheConfig config_;
+  std::unique_ptr<IndexMapper> mapper_;
+  std::unique_ptr<Replacement> replacement_;
+  std::shared_ptr<rng::Rng> rng_;
+  std::vector<Line> lines_;
+  CacheStats stats_;
+  std::unordered_map<ProcId, Partition> partitions_;
+  std::vector<std::uint32_t> partition_rr_;  // per-set round-robin cursor
+};
+
+}  // namespace tsc::cache

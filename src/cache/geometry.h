@@ -1,0 +1,96 @@
+// Cache geometry: sizes, address decomposition.
+//
+// The paper's platform (section 6.1.2, ARM920T-like): 16KB, 128-set, 4-way
+// L1 instruction and data caches and a 256KB, 2048-set, 4-way L2.  With 32B
+// lines the L1 way size equals the 4KB page size, the precondition for
+// Random Modulo placement (section 4: "RM is compatible with caches whose
+// page size is equal or a multiplier of the cache way size").
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/bitops.h"
+#include "common/types.h"
+
+namespace tsc::cache {
+
+/// Immutable geometric description of one cache level.
+class Geometry {
+ public:
+  /// Precondition: all arguments are powers of two and
+  /// size_bytes == sets * ways * line_bytes for some integral set count.
+  constexpr Geometry(std::uint32_t size_bytes, std::uint32_t ways,
+                     std::uint32_t line_bytes)
+      : size_bytes_(size_bytes),
+        ways_(ways),
+        line_bytes_(line_bytes),
+        sets_(size_bytes / (ways * line_bytes)) {
+    assert(is_pow2(size_bytes));
+    assert(is_pow2(ways));
+    assert(is_pow2(line_bytes));
+    assert(sets_ >= 1);
+    assert(sets_ * ways_ * line_bytes_ == size_bytes_);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t size_bytes() const {
+    return size_bytes_;
+  }
+  [[nodiscard]] constexpr std::uint32_t ways() const { return ways_; }
+  [[nodiscard]] constexpr std::uint32_t line_bytes() const {
+    return line_bytes_;
+  }
+  [[nodiscard]] constexpr std::uint32_t sets() const { return sets_; }
+
+  /// Bits addressing a byte within a line.
+  [[nodiscard]] constexpr unsigned offset_bits() const {
+    return log2_exact(line_bytes_);
+  }
+  /// Bits selecting a set under modulo placement.
+  [[nodiscard]] constexpr unsigned index_bits() const {
+    return log2_exact(sets_);
+  }
+  /// Bytes covered by one way (== page size for RM-compatible L1s).
+  [[nodiscard]] constexpr std::uint32_t way_bytes() const {
+    return sets_ * line_bytes_;
+  }
+
+  /// The line-granular address (drops offset bits).  Placement functions
+  /// operate on line addresses only: offset bits never influence the set
+  /// (paper mbpta-p2: "excluding offset bits within the cache line").
+  [[nodiscard]] constexpr Addr line_addr(Addr a) const {
+    return a >> offset_bits();
+  }
+  /// First byte address of the line containing `a`.
+  [[nodiscard]] constexpr Addr line_base(Addr a) const {
+    return a & ~static_cast<Addr>(line_bytes_ - 1);
+  }
+  /// Modulo index bits of a line address.
+  [[nodiscard]] constexpr std::uint32_t index_of_line(Addr line) const {
+    return static_cast<std::uint32_t>(line & (sets_ - 1));
+  }
+  /// Tag bits of a line address (everything above the index).
+  [[nodiscard]] constexpr Addr tag_of_line(Addr line) const {
+    return line >> index_bits();
+  }
+
+  friend constexpr bool operator==(const Geometry&, const Geometry&) = default;
+
+ private:
+  std::uint32_t size_bytes_;
+  std::uint32_t ways_;
+  std::uint32_t line_bytes_;
+  std::uint32_t sets_;
+};
+
+/// The paper's L1 geometry: 16KB, 128 sets, 4 ways (32B lines).
+[[nodiscard]] constexpr Geometry l1_geometry_arm920t() {
+  return Geometry(16 * 1024, 4, 32);
+}
+
+/// The paper's L2 geometry: 256KB, 2048 sets, 4 ways (32B lines).
+[[nodiscard]] constexpr Geometry l2_geometry_arm920t() {
+  return Geometry(256 * 1024, 4, 32);
+}
+
+}  // namespace tsc::cache

@@ -1,0 +1,66 @@
+#include "cache/mapper.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tsc::cache {
+
+SeededMapper::SeededMapper(std::unique_ptr<Placement> placement,
+                           Seed default_seed)
+    : placement_(std::move(placement)), default_seed_(default_seed) {
+  assert(placement_ != nullptr);
+}
+
+std::uint32_t SeededMapper::map(Addr line_addr, ProcId proc) {
+  return placement_->set_index(line_addr, seed(proc));
+}
+
+void SeededMapper::set_seed(ProcId proc, Seed seed) { seeds_[proc] = seed; }
+
+Seed SeededMapper::seed(ProcId proc) const {
+  const auto it = seeds_.find(proc);
+  return it == seeds_.end() ? default_seed_ : it->second;
+}
+
+std::string SeededMapper::name() const {
+  return "seeded-" + placement_->name();
+}
+
+RpCacheMapper::RpCacheMapper(const Geometry& geometry, Seed default_seed)
+    : geo_(geometry), default_seed_(default_seed) {}
+
+std::uint32_t RpCacheMapper::map(Addr line_addr, ProcId proc) {
+  const std::uint32_t idx = geo_.index_of_line(line_addr);
+  return table_for(proc)[idx];
+}
+
+void RpCacheMapper::set_seed(ProcId proc, Seed seed) {
+  seeds_[proc] = seed;
+  tables_.erase(proc);  // rebuilt lazily from the new seed
+}
+
+Seed RpCacheMapper::seed(ProcId proc) const {
+  const auto it = seeds_.find(proc);
+  return it == seeds_.end() ? default_seed_ : it->second;
+}
+
+std::vector<std::uint32_t> RpCacheMapper::make_table(Seed seed) const {
+  std::vector<std::uint32_t> table(geo_.sets());
+  for (std::uint32_t i = 0; i < geo_.sets(); ++i) table[i] = i;
+  rng::SplitMix64 rng(seed.value ^ 0xC2B2AE3D27D4EB4FULL);
+  for (std::uint32_t i = geo_.sets() - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i + 1));
+    std::swap(table[i], table[j]);
+  }
+  return table;
+}
+
+const std::vector<std::uint32_t>& RpCacheMapper::table_for(ProcId proc) {
+  auto it = tables_.find(proc);
+  if (it == tables_.end()) {
+    it = tables_.emplace(proc, make_table(seed(proc))).first;
+  }
+  return it->second;
+}
+
+}  // namespace tsc::cache

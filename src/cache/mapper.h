@@ -1,0 +1,93 @@
+// Index mappers: how a concrete cache instance turns (line address, process)
+// into a set index.
+//
+// Pure placement functions (placement.h) know nothing about processes.  The
+// mapper layer adds the paper's key security ingredient: *per-process seeds*
+// (section 5, "Implementing per-process unique seeds").  It also hosts the
+// stateful RPCache design [27], whose mapping is a per-process permutation
+// table plus a randomize-on-contention rule rather than a pure function.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "cache/placement.h"
+#include "common/types.h"
+#include "rng/rng.h"
+
+namespace tsc::cache {
+
+/// Maps (line address, process) to a set; owns per-process seed state.
+class IndexMapper {
+ public:
+  virtual ~IndexMapper() = default;
+
+  /// Set index for this access.
+  [[nodiscard]] virtual std::uint32_t map(Addr line_addr, ProcId proc) = 0;
+
+  /// Install/replace the placement seed of a process.  For RPCache this
+  /// re-derives the process's permutation table.
+  virtual void set_seed(ProcId proc, Seed seed) = 0;
+
+  /// Current seed of a process (default seed if never set).
+  [[nodiscard]] virtual Seed seed(ProcId proc) const = 0;
+
+  /// True for designs (RPCache) that demand the secure contention policy:
+  /// on a miss whose replacement victim belongs to another process, do not
+  /// allocate and evict a random line from a random set instead.
+  [[nodiscard]] virtual bool secure_contention_policy() const { return false; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Mapper over a pure placement function with one seed register per process.
+/// This is how hashRP/RM/XOR-index/modulo caches are deployed: the hardware
+/// holds the seed of the currently running software unit; the OS saves and
+/// restores it on context switches (paper Fig. 3).
+class SeededMapper final : public IndexMapper {
+ public:
+  SeededMapper(std::unique_ptr<Placement> placement, Seed default_seed = {});
+
+  [[nodiscard]] std::uint32_t map(Addr line_addr, ProcId proc) override;
+  void set_seed(ProcId proc, Seed seed) override;
+  [[nodiscard]] Seed seed(ProcId proc) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const Placement& placement() const { return *placement_; }
+
+ private:
+  std::unique_ptr<Placement> placement_;
+  Seed default_seed_;
+  std::unordered_map<ProcId, Seed> seeds_;
+};
+
+/// RPCache mapper [27]: per-process random permutation table over sets.
+/// The table is derived deterministically from the process seed; contention
+/// randomization is signalled via secure_contention_policy() and executed by
+/// the cache (which owns the line array).
+class RpCacheMapper final : public IndexMapper {
+ public:
+  RpCacheMapper(const Geometry& geometry, Seed default_seed = {});
+
+  [[nodiscard]] std::uint32_t map(Addr line_addr, ProcId proc) override;
+  void set_seed(ProcId proc, Seed seed) override;
+  [[nodiscard]] Seed seed(ProcId proc) const override;
+  [[nodiscard]] bool secure_contention_policy() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "rpcache"; }
+
+ private:
+  /// Fisher-Yates permutation of {0..sets-1} from a seed.
+  [[nodiscard]] std::vector<std::uint32_t> make_table(Seed seed) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& table_for(ProcId proc);
+
+  Geometry geo_;
+  Seed default_seed_;
+  std::unordered_map<ProcId, Seed> seeds_;
+  std::unordered_map<ProcId, std::vector<std::uint32_t>> tables_;
+};
+
+}  // namespace tsc::cache

@@ -1,0 +1,148 @@
+#include "cache/placement.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cache/benes.h"
+#include "common/bitops.h"
+
+namespace tsc::cache {
+namespace {
+
+// One strong 64->64 mixing round (SplitMix64 finalizer).  Stands in for the
+// seed-conditioning logic real controllers put in front of their XOR/rotator
+// trees; keeps distinct seed bits from cancelling trivially.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t XorIndexPlacement::set_index(Addr line_addr, Seed seed) const {
+  const std::uint32_t idx = geo_.index_of_line(line_addr);
+  // The scheme of [2]: XOR the index bits with a (seed-derived) random
+  // number.  Deliberately *not* address-dependent beyond the index bits:
+  // that is the design being modeled, flaw included.
+  const auto mask =
+      static_cast<std::uint32_t>(mix64(seed.value) & (geo_.sets() - 1));
+  return idx ^ mask;
+}
+
+HashRpPlacement::HashRpPlacement(const Geometry& g, unsigned addr_bits)
+    : geo_(g), line_addr_bits_(addr_bits - g.offset_bits()) {
+  assert(addr_bits > g.offset_bits());
+}
+
+std::uint32_t HashRpPlacement::set_index(Addr line_addr, Seed seed) const {
+  const unsigned w = geo_.index_bits() == 0 ? 1 : geo_.index_bits();
+  const std::uint64_t s = mix64(seed.value);
+  const std::uint64_t la = line_addr & low_mask(line_addr_bits_);
+
+  // Fig. 2a: the line address (tag+index bits) is split into w-bit fields;
+  // each field passes through a rotator block and the rotated fields are
+  // XORed with a seed field into the set index.
+  //
+  // The rotation amount of each block mixes seed bits with bits of the
+  // *neighbouring* address field.  The address-dependence is essential: a
+  // rotation is linear over XOR (rot(a)^rot(b) == rot(a^b)), so if amounts
+  // came from the seed alone, whether two addresses collide would be decided
+  // by their XOR-difference and at most a handful of seed bits - some pairs
+  // would then collide under no seed at all, violating mbpta-p2(2).  Driving
+  // the rotator from other address bits (the same trick RM plays with its
+  // tag-driven Benes network) makes the permutation applied to each address
+  // pair-specific, so cross-seed conflicts behave randomly.
+  // Each rotator works on a (w+1)-bit lane and the result is truncated to
+  // w bits.  The truncation matters: rotation and XOR both preserve bit
+  // parity, so a pure rotate/XOR tree on w-bit lanes maps every address pair
+  // with odd XOR-difference to *unequal* sets under every seed - again an
+  // mbpta-p2(2) violation.  Dropping one rotated bit breaks the parity
+  // invariant.
+  const unsigned field_count = (line_addr_bits_ + w - 1) / w;
+  const unsigned lane = w + 1;
+  // The accumulator's seed chunk lives in bits the field-mixing chunks
+  // (offsets 0..39) never touch: if they overlapped, a zero rotation amount
+  // would cancel the seed out of the final XOR and pin one seed class of
+  // every address to a fixed set, breaking placement uniformity.
+  std::uint64_t acc = bits(s, 48, w);
+  for (unsigned i = 0; i < field_count; ++i) {
+    const unsigned lo = i * w;
+    const unsigned width = std::min(lane, line_addr_bits_ - lo);
+    const std::uint64_t field =
+        bits(la, lo, width) ^ bits(s, (7 * i) % 40, lane);
+    const unsigned neighbour_lo = ((i + 1) % field_count) * w;
+    const auto amt = static_cast<unsigned>(
+        (bits(s, w + 4 * i, 4) ^ bits(la, neighbour_lo, 4)) & 0xF);
+    acc ^= rotl_field(field, lane, amt) & low_mask(w);
+  }
+  return static_cast<std::uint32_t>(acc & (geo_.sets() - 1));
+}
+
+RandomModuloPlacement::RandomModuloPlacement(const Geometry& g)
+    : geo_(g), memo_(8192) {
+  assert(g.index_bits() <= 16 &&
+         "packed-permutation memo supports up to 16 index bits");
+}
+
+std::uint32_t RandomModuloPlacement::set_index(Addr line_addr,
+                                               Seed seed) const {
+  const unsigned k = geo_.index_bits();
+  if (k == 0) return 0;  // fully associative: single set
+  const std::uint32_t idx = geo_.index_of_line(line_addr);
+  const Addr tag = geo_.tag_of_line(line_addr);
+  const std::uint64_t s = mix64(seed.value);
+
+  // Fig. 2b: index bits XOR seed -> data inputs of the Benes network;
+  // tag bits XOR seed -> drive the network switches.
+  const auto xored_idx =
+      static_cast<std::uint32_t>((idx ^ s) & (geo_.sets() - 1));
+  const std::uint64_t driver = tag ^ (s >> k);
+
+  Memo& slot = memo_[(driver * 0x9E3779B97F4A7C15ULL) >> 51];  // top 13 bits
+  if (slot.driver_plus1 != driver + 1) {
+    const std::vector<std::uint32_t> perm = benes_permutation(k, driver);
+    std::uint64_t packed = 0;
+    for (unsigned i = 0; i < k; ++i) {
+      packed |= static_cast<std::uint64_t>(perm[i] & 0xF) << (4 * i);
+    }
+    slot = {driver + 1, packed};
+  }
+  std::uint32_t out = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    const auto src = static_cast<unsigned>((slot.packed_perm >> (4 * i)) & 0xF);
+    out |= ((xored_idx >> src) & 1u) << i;
+  }
+  return out;
+}
+
+std::unique_ptr<Placement> make_placement(PlacementKind kind,
+                                          const Geometry& g) {
+  switch (kind) {
+    case PlacementKind::kModulo:
+      return std::make_unique<ModuloPlacement>(g);
+    case PlacementKind::kXorIndex:
+      return std::make_unique<XorIndexPlacement>(g);
+    case PlacementKind::kHashRp:
+      return std::make_unique<HashRpPlacement>(g);
+    case PlacementKind::kRandomModulo:
+      return std::make_unique<RandomModuloPlacement>(g);
+  }
+  return std::make_unique<ModuloPlacement>(g);
+}
+
+std::string to_string(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kModulo:
+      return "modulo";
+    case PlacementKind::kXorIndex:
+      return "xor-index";
+    case PlacementKind::kHashRp:
+      return "hashRP";
+    case PlacementKind::kRandomModulo:
+      return "random-modulo";
+  }
+  return "?";
+}
+
+}  // namespace tsc::cache

@@ -1,0 +1,138 @@
+// Placement policies: (line address, seed) -> cache set.
+//
+// The four designs the paper analyses (sections 3-4):
+//
+//  * Modulo        - the deterministic baseline: low index bits of the line
+//                    address.  Fully layout-dependent.
+//  * XorIndex      - Aciiçmez's secure-I-cache scheme [2]: index XOR random
+//                    number.  Permutes set *names* but preserves the conflict
+//                    structure: A and B collide for one seed iff they collide
+//                    for all seeds.  This is the mbpta-p2 violation the paper
+//                    proves; we keep the design around so the flaw is a unit
+//                    test rather than prose.
+//  * HashRp        - hash-based parametric random placement [16] (Fig. 2a):
+//                    rotator blocks + XOR gates over tag+index bits and the
+//                    seed.  Full Randomness (mbpta-p2); works for any cache
+//                    whose way size exceeds the page size (L2/L3).
+//  * RandomModulo  - RM [15][24] (Fig. 2b): seed-XORed index bits permuted by
+//                    a Benes network driven by seed-XORed tag bits.  Partial
+//                    APOP-fixed randomness (mbpta-p3): same-page lines never
+//                    collide; cross-page conflicts are random per seed.
+//
+// All placements are pure: same (address, seed) -> same set, which is what
+// lets caches retain their contents while a task runs (paper section 5:
+// "HashRP and RM preserve the same seed during the execution of a task, so
+// that cache contents can be retrieved").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "common/types.h"
+
+namespace tsc::cache {
+
+/// Pure placement function interface.
+class Placement {
+ public:
+  virtual ~Placement() = default;
+
+  /// Set index for a line address under the given seed.
+  [[nodiscard]] virtual std::uint32_t set_index(Addr line_addr,
+                                                Seed seed) const = 0;
+
+  /// Identifier for logs and reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when the function actually uses the seed (modulo does not).
+  [[nodiscard]] virtual bool randomized() const = 0;
+};
+
+/// Kinds for configuration.
+enum class PlacementKind {
+  kModulo,
+  kXorIndex,
+  kHashRp,
+  kRandomModulo,
+};
+
+/// Deterministic modulo placement (baseline "deterministic" setup, 6.1.2a).
+class ModuloPlacement final : public Placement {
+ public:
+  explicit ModuloPlacement(const Geometry& g) : geo_(g) {}
+  [[nodiscard]] std::uint32_t set_index(Addr line_addr, Seed) const override {
+    return geo_.index_of_line(line_addr);
+  }
+  [[nodiscard]] std::string name() const override { return "modulo"; }
+  [[nodiscard]] bool randomized() const override { return false; }
+
+ private:
+  Geometry geo_;
+};
+
+/// Aciiçmez XOR-index placement [2]: set = index XOR f(seed).
+class XorIndexPlacement final : public Placement {
+ public:
+  explicit XorIndexPlacement(const Geometry& g) : geo_(g) {}
+  [[nodiscard]] std::uint32_t set_index(Addr line_addr,
+                                        Seed seed) const override;
+  [[nodiscard]] std::string name() const override { return "xor-index"; }
+  [[nodiscard]] bool randomized() const override { return true; }
+
+ private:
+  Geometry geo_;
+};
+
+/// Hash-based parametric random placement [16] (paper Fig. 2a).
+class HashRpPlacement final : public Placement {
+ public:
+  /// `addr_bits` bounds the meaningful line-address width (32-bit machine:
+  /// 32 - offset bits).
+  explicit HashRpPlacement(const Geometry& g, unsigned addr_bits = 32);
+  [[nodiscard]] std::uint32_t set_index(Addr line_addr,
+                                        Seed seed) const override;
+  [[nodiscard]] std::string name() const override { return "hashRP"; }
+  [[nodiscard]] bool randomized() const override { return true; }
+
+ private:
+  Geometry geo_;
+  unsigned line_addr_bits_;
+};
+
+/// Random Modulo placement [15][24] (paper Fig. 2b).
+///
+/// Hardware evaluates the Benes network combinationally in the cache access
+/// path; simulating the network per access would dominate simulation time, so
+/// the realized bit permutation is memoized per driver value (tag XOR seed)
+/// in a small direct-mapped table.  The memo is invisible to callers: results
+/// are identical to recomputing the network.  Supports up to 16 index bits
+/// (65536 sets), far beyond the paper's 2048-set L2.
+class RandomModuloPlacement final : public Placement {
+ public:
+  explicit RandomModuloPlacement(const Geometry& g);
+  [[nodiscard]] std::uint32_t set_index(Addr line_addr,
+                                        Seed seed) const override;
+  [[nodiscard]] std::string name() const override { return "random-modulo"; }
+  [[nodiscard]] bool randomized() const override { return true; }
+
+ private:
+  struct Memo {
+    std::uint64_t driver_plus1 = 0;  // 0 = empty
+    std::uint64_t packed_perm = 0;   // 4 bits per output position
+  };
+
+  Geometry geo_;
+  mutable std::vector<Memo> memo_;  // direct-mapped; single-threaded use
+};
+
+/// Factory.
+[[nodiscard]] std::unique_ptr<Placement> make_placement(PlacementKind kind,
+                                                        const Geometry& g);
+
+/// Name of a PlacementKind (for reports).
+[[nodiscard]] std::string to_string(PlacementKind kind);
+
+}  // namespace tsc::cache

@@ -1,0 +1,54 @@
+// Replacement policies for the set-associative cache model.
+//
+// MBPTA-compliant caches use random placement plus *optionally* random
+// replacement (paper section 2.1); the deterministic baseline uses LRU.
+// FIFO, tree-PLRU and NMRU are included for the overhead study and because
+// downstream users of the library will want them.
+//
+// A policy instance owns the metadata for all sets of one cache.  Victims
+// are chosen among all ways; callers fill invalid ways first, so `victim`
+// is only consulted when the set is full.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace tsc::cache {
+
+/// Kinds for configuration.
+enum class ReplacementKind { kLru, kFifo, kRandom, kPlru, kNmru };
+
+/// Per-cache replacement metadata and victim selection.
+class Replacement {
+ public:
+  virtual ~Replacement() = default;
+
+  /// A hit or a fill touched `way` of `set`.
+  virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+
+  /// A new line was installed in `way` of `set`.
+  virtual void fill(std::uint32_t set, std::uint32_t way) = 0;
+
+  /// Pick the way to evict from a full `set`.
+  [[nodiscard]] virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+  /// Forget all history (cache flush).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory.  `rng` may be nullptr for deterministic policies; kRandom
+/// requires it and takes shared ownership.
+[[nodiscard]] std::unique_ptr<Replacement> make_replacement(
+    ReplacementKind kind, std::uint32_t sets, std::uint32_t ways,
+    std::shared_ptr<rng::Rng> rng = nullptr);
+
+/// Name of a ReplacementKind (for reports).
+[[nodiscard]] std::string to_string(ReplacementKind kind);
+
+}  // namespace tsc::cache

@@ -1,0 +1,82 @@
+// Bit-manipulation helpers used by placement functions and the ISA.
+//
+// Everything here is constexpr and branch-light: these run once per simulated
+// memory access, which is the hot path of the whole project.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace tsc {
+
+/// True iff `v` is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of a power of two.  Precondition: is_pow2(v).
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  assert(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Extract `count` bits of `v` starting at bit `lo` (little-endian bit order).
+[[nodiscard]] constexpr std::uint64_t bits(std::uint64_t v, unsigned lo,
+                                           unsigned count) noexcept {
+  assert(count <= 64);
+  if (count == 0) return 0;
+  const std::uint64_t mask =
+      count >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
+  return (v >> lo) & mask;
+}
+
+/// Mask with the low `count` bits set.
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned count) noexcept {
+  assert(count <= 64);
+  return count >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << count) - 1);
+}
+
+/// Rotate the low `width` bits of `v` left by `amount` (mod width); bits above
+/// `width` are cleared.  Models the rotator blocks of the hashRP placement
+/// hardware (paper Fig. 2a), which operate on narrow bit fields.
+[[nodiscard]] constexpr std::uint64_t rotl_field(std::uint64_t v,
+                                                 unsigned width,
+                                                 unsigned amount) noexcept {
+  assert(width >= 1 && width <= 64);
+  v &= low_mask(width);
+  amount %= width;
+  if (amount == 0) return v;
+  return ((v << amount) | (v >> (width - amount))) & low_mask(width);
+}
+
+/// XOR-fold `v` down to `width` bits: XOR together consecutive `width`-bit
+/// chunks.  Standard hardware trick to compress a wide value into an index.
+[[nodiscard]] constexpr std::uint64_t xor_fold(std::uint64_t v,
+                                               unsigned width) noexcept {
+  assert(width >= 1 && width <= 64);
+  std::uint64_t out = 0;
+  while (v != 0) {
+    out ^= v & low_mask(width);
+    if (width >= 64) break;
+    v >>= width;
+  }
+  return out;
+}
+
+/// Parity (XOR of all bits) of `v`.
+[[nodiscard]] constexpr unsigned parity(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::popcount(v) & 1);
+}
+
+/// Reverse the low `width` bits of `v`.
+[[nodiscard]] constexpr std::uint64_t reverse_bits(std::uint64_t v,
+                                                   unsigned width) noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    out = (out << 1) | ((v >> i) & 1);
+  }
+  return out;
+}
+
+}  // namespace tsc

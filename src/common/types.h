@@ -1,0 +1,59 @@
+// Core vocabulary types shared by every tsc library.
+//
+// The simulator manipulates several integer-like quantities (byte addresses,
+// cycle counts, process identities, placement seeds).  Mixing them up is a
+// classic source of silent bugs, so the ones that cross module boundaries get
+// distinct types.  Quantities that participate in heavy arithmetic (addresses,
+// cycles) stay plain integers for ergonomics; identity-like quantities
+// (ProcId, Seed) are wrapped.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace tsc {
+
+/// Byte address in the simulated physical address space (32-bit machine,
+/// widened to 64 bits so address arithmetic can never overflow mid-expression).
+using Addr = std::uint64_t;
+
+/// Simulated processor cycles.
+using Cycles = std::uint64_t;
+
+/// Identity of a software execution context (an AUTOSAR SWC, the OS, an
+/// attacker process...).  Placement seeds and cache-line ownership are keyed
+/// by ProcId.
+struct ProcId {
+  std::uint32_t value = 0;
+
+  friend constexpr auto operator<=>(ProcId, ProcId) = default;
+};
+
+/// The OS/kernel context (paper Fig. 3: "the OS seed needs to be used").
+inline constexpr ProcId kOsProc{0};
+
+/// Placement seed: the random number a randomized cache operates with the
+/// address (paper section 4).  64 bits is plenty for every placement function
+/// we model; hardware designs use fewer and we truncate as needed.
+struct Seed {
+  std::uint64_t value = 0;
+
+  friend constexpr auto operator<=>(Seed, Seed) = default;
+};
+
+}  // namespace tsc
+
+template <>
+struct std::hash<tsc::ProcId> {
+  std::size_t operator()(tsc::ProcId p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.value);
+  }
+};
+
+template <>
+struct std::hash<tsc::Seed> {
+  std::size_t operator()(tsc::Seed s) const noexcept {
+    return std::hash<std::uint64_t>{}(s.value);
+  }
+};

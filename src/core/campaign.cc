@@ -1,0 +1,125 @@
+#include "core/campaign.h"
+
+namespace tsc::core {
+namespace {
+
+constexpr ProcId kCryptoProc{1};
+
+crypto::Key random_key(rng::Rng& rng) {
+  crypto::Key key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return key;
+}
+
+crypto::Block random_block(rng::Rng& rng) {
+  // One generator draw per block, bytes from a SplitMix-mixed word pair.
+  // Drawing each byte as the low bits of consecutive xorshift outputs leaves
+  // measurable inter-byte correlations, which the Bernstein profiles pick up
+  // as spurious structure shared by victim and attacker (their plaintext
+  // streams then carry the *same* joint bias even under different seeds).
+  crypto::Block blk{};
+  rng::SplitMix64 mix(rng.next_u64());
+  const std::uint64_t lo = mix.next_u64();
+  const std::uint64_t hi = mix.next_u64();
+  for (int i = 0; i < 8; ++i) {
+    blk[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(lo >> (8 * i));
+    blk[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(hi >> (8 * i));
+  }
+  return blk;
+}
+
+}  // namespace
+
+SideResult run_victim_side(SetupKind kind, const CampaignConfig& config,
+                           std::uint64_t party_tag, const crypto::Key& key) {
+  // The shared layout seed is derived from the campaign master WITHOUT the
+  // party tag: under MBPTACache both parties therefore share one layout,
+  // which is the attack scenario the paper demonstrates.  All other random
+  // streams are party-specific.
+  const std::uint64_t party_seed =
+      rng::derive_seed(config.master_seed, party_tag);
+  Setup setup(kind, party_seed,
+              rng::derive_seed(config.master_seed, 0x1A707));
+  setup.set_hyperperiod_jobs(config.hyperperiod_jobs);
+  sim::Machine& m = setup.machine();
+
+  setup.register_process(kCryptoProc);
+  setup.register_process(kOsProc);
+  m.set_process(kCryptoProc);
+
+  crypto::SimAes aes(m, config.aes_layout, key);
+  rng::XorShift64Star pt_rng(rng::derive_seed(
+      party_seed, 0xB10C ^ (config.plaintext_stream * 0x9E3779B9ULL)));
+
+  SideResult side;
+  side.key = key;
+  side.timings.reserve(config.samples);
+
+  const Addr noise_pc = config.noise_base - 0x1000;
+  const Addr os_pc = config.os_base - 0x1000;
+  const cache::Geometry geo = m.hierarchy().l1d().geometry();
+  const std::uint32_t line = geo.line_bytes();
+  const std::uint32_t sets = geo.sets();
+
+  // The victim binary's fixed working-set pattern (see CampaignConfig).
+  std::vector<std::pair<Addr, unsigned>> noise_plan;
+  noise_plan.reserve(config.noise_set_count);
+  for (unsigned s = 0; s < config.noise_set_count; ++s) {
+    const Addr index = (config.noise_set_lo + s) % sets;
+    const auto depth = static_cast<unsigned>(
+        rng::derive_seed(config.noise_pattern_seed, index) %
+        (config.noise_max_depth + 1));
+    noise_plan.emplace_back(index, depth);
+  }
+
+  for (std::size_t j = 0; j < config.warmup + config.samples; ++j) {
+    setup.before_job(kCryptoProc, j);
+
+    // OS tick: background kernel activity under the OS identity.
+    m.set_process(kOsProc);
+    for (unsigned i = 0; i < config.os_lines; ++i) {
+      m.load(os_pc, config.os_base + i * line);
+    }
+
+    // Victim's per-request processing: an irregular working set, `depth(s)`
+    // lines deep in each covered modulo set.
+    m.set_process(kCryptoProc);
+    for (const auto& [index, depth] : noise_plan) {
+      for (unsigned d = 0; d < depth; ++d) {
+        m.load(noise_pc,
+               config.noise_base + (static_cast<Addr>(d) * sets + index) * line);
+      }
+    }
+
+    const crypto::Block pt = random_block(pt_rng);
+    (void)aes.encrypt(pt);
+    if (j < config.warmup) continue;
+    const auto duration = static_cast<double>(aes.last_duration());
+    side.profile.add(pt, duration);
+    side.timings.push_back(duration);
+  }
+  return side;
+}
+
+CampaignResult run_bernstein_campaign(SetupKind kind,
+                                      const CampaignConfig& config) {
+  CampaignResult result;
+  result.kind = kind;
+
+  rng::SplitMix64 key_rng(rng::derive_seed(config.master_seed, 0x6E1));
+  const crypto::Key victim_key = random_key(key_rng);
+  const crypto::Key attacker_key{};  // all-zero: Bernstein's known key
+
+  result.victim = run_victim_side(kind, config, /*party_tag=*/1, victim_key);
+  result.attacker =
+      run_victim_side(kind, config, /*party_tag=*/2, attacker_key);
+
+  result.attack = attack::bernstein_attack(
+      result.victim.profile, result.attacker.profile, attacker_key,
+      victim_key);
+  return result;
+}
+
+}  // namespace tsc::core

@@ -1,0 +1,98 @@
+#include "core/setup.h"
+
+#include <utility>
+
+namespace tsc::core {
+namespace {
+
+sim::HierarchyConfig config_for(SetupKind kind) {
+  using cache::MapperKind;
+  using cache::ReplacementKind;
+  switch (kind) {
+    case SetupKind::kDeterministic:
+      return sim::arm920t_config(MapperKind::kModulo, MapperKind::kModulo,
+                                 ReplacementKind::kLru);
+    case SetupKind::kRpCache:
+      return sim::arm920t_config(MapperKind::kRpCache, MapperKind::kRpCache,
+                                 ReplacementKind::kLru);
+    case SetupKind::kMbptaCache:
+    case SetupKind::kTsCache:
+      // Section 6.1.2: "For MBPTACache and TSCache, the L1 caches implement
+      // RM while the shared L2 cache HashRP."
+      return sim::arm920t_config(MapperKind::kRandomModulo,
+                                 MapperKind::kHashRp,
+                                 ReplacementKind::kRandom);
+  }
+  return sim::arm920t_config(MapperKind::kModulo, MapperKind::kModulo,
+                             ReplacementKind::kLru);
+}
+
+}  // namespace
+
+std::string to_string(SetupKind kind) {
+  switch (kind) {
+    case SetupKind::kDeterministic:
+      return "deterministic";
+    case SetupKind::kRpCache:
+      return "RPCache";
+    case SetupKind::kMbptaCache:
+      return "MBPTACache";
+    case SetupKind::kTsCache:
+      return "TSCache";
+  }
+  return "?";
+}
+
+const std::vector<SetupKind>& all_setups() {
+  static const std::vector<SetupKind> kinds{
+      SetupKind::kDeterministic, SetupKind::kRpCache, SetupKind::kMbptaCache,
+      SetupKind::kTsCache};
+  return kinds;
+}
+
+Setup::Setup(SetupKind kind, std::uint64_t master_seed,
+             std::uint64_t shared_layout_seed)
+    : kind_(kind),
+      master_seed_(master_seed),
+      shared_layout_seed_(shared_layout_seed) {
+  auto rng = std::make_shared<rng::XorShift64Star>(
+      rng::derive_seed(master_seed, 0xF00D));
+  machine_ = std::make_unique<sim::Machine>(config_for(kind), std::move(rng));
+}
+
+Seed Setup::initial_seed_for(ProcId proc) const {
+  switch (kind_) {
+    case SetupKind::kDeterministic:
+      return Seed{0};  // placement ignores it
+    case SetupKind::kRpCache:
+      // Per-process permutation tables, fixed for the run.
+      return Seed{rng::derive_seed(master_seed_, 0x9100 + proc.value)};
+    case SetupKind::kMbptaCache:
+      // One seed for everyone, set once: nothing in MBPTA forbids the
+      // attacker from using the victim's seed (paper section 5), and a
+      // shared layout seed lets two Setup instances model exactly that.
+      return Seed{rng::derive_seed(shared_layout_seed_, 0x3EED)};
+    case SetupKind::kTsCache:
+      // Per-process unique seeds.
+      return Seed{rng::derive_seed(master_seed_, 0xD15C + proc.value)};
+  }
+  return Seed{0};
+}
+
+void Setup::register_process(ProcId proc) {
+  machine_->hierarchy().set_seed(proc, initial_seed_for(proc));
+}
+
+void Setup::before_job(ProcId proc, std::uint64_t job) {
+  if (kind_ != SetupKind::kTsCache) return;
+  if (job % hyperperiod_jobs_ != 0) return;
+  // Hyperperiod boundary: fresh random layout; flushing keeps contents
+  // consistent (section 5: "either cache contents need to be flushed or the
+  // seed used in the previous job of the task has to be used again").
+  const std::uint64_t proc_master =
+      rng::derive_seed(master_seed_, 0xD15C + proc.value);
+  machine_->set_seed(proc, Seed{rng::derive_seed(proc_master, job)});
+  machine_->flush_caches();
+}
+
+}  // namespace tsc::core

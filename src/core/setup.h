@@ -1,0 +1,87 @@
+// The four processor setups of the paper's evaluation (section 6.1.2):
+//
+//   (a) deterministic - "a baseline vulnerable processor with
+//       time-deterministic caches" (modulo placement, LRU);
+//   (b) RPCache - "a secure processor implementing the RPCache [27]";
+//   (c) MBPTACache - "a processor implementing a random cache for MBPTA
+//       compliance" (RM in L1, hashRP in L2, random replacement), with the
+//       seed shared by every process and kept for the whole run: MBPTA sets
+//       no constraint on seeds, which is exactly the vulnerability the
+//       paper demonstrates (section 5);
+//   (d) TSCache - the paper's proposal: same random caches as (c) plus
+//       per-process unique seeds and periodic reseeding with cache flush.
+//
+// A Setup bundles the configured Machine with the seed-management policy so
+// every experiment (Bernstein campaign, contention attacks, MBPTA analysis)
+// treats the four designs uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "rng/rng.h"
+#include "sim/machine.h"
+
+namespace tsc::core {
+
+/// The evaluated cache/seed designs.
+enum class SetupKind { kDeterministic, kRpCache, kMbptaCache, kTsCache };
+
+[[nodiscard]] std::string to_string(SetupKind kind);
+
+/// All four kinds, in the paper's presentation order.
+[[nodiscard]] const std::vector<SetupKind>& all_setups();
+
+/// A machine configured per the paper plus its seed policy.
+class Setup {
+ public:
+  /// Build the platform.  `master_seed` drives every random decision made
+  /// by this setup (placement seeds, replacement randomness), so an entire
+  /// experiment replays bit-identically from one integer.
+  ///
+  /// `shared_layout_seed` matters for kMbptaCache only: machines of
+  /// different parties (victim / attacker) constructed with the same value
+  /// end up with the same cache layout - the "same seed" attack scenario of
+  /// section 5.  Other kinds ignore it.
+  Setup(SetupKind kind, std::uint64_t master_seed,
+        std::uint64_t shared_layout_seed = 0);
+
+  /// Register a process and install its initial placement seed according to
+  /// the setup's policy (without timing cost; initialization happens before
+  /// the system starts).
+  void register_process(ProcId proc);
+
+  /// Apply the seed policy for `proc` before job number `job`.  TSCache:
+  /// at every hyperperiod boundary (job % hyperperiod_jobs == 0) install a
+  /// fresh seed and flush the caches, as the paper's OS does (section 5).
+  /// Other setups: no action.  Timing cost is charged to the machine.
+  void before_job(ProcId proc, std::uint64_t job);
+
+  /// Jobs per hyperperiod for the TSCache reseed policy (default 4096).
+  void set_hyperperiod_jobs(std::uint64_t jobs) { hyperperiod_jobs_ = jobs; }
+  [[nodiscard]] std::uint64_t hyperperiod_jobs() const {
+    return hyperperiod_jobs_;
+  }
+
+  [[nodiscard]] SetupKind kind() const { return kind_; }
+  [[nodiscard]] sim::Machine& machine() { return *machine_; }
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+  /// True when the design randomizes placement (kinds c and d).
+  [[nodiscard]] bool randomized_placement() const {
+    return kind_ == SetupKind::kMbptaCache || kind_ == SetupKind::kTsCache;
+  }
+
+ private:
+  [[nodiscard]] Seed initial_seed_for(ProcId proc) const;
+
+  SetupKind kind_;
+  std::uint64_t master_seed_;
+  std::uint64_t shared_layout_seed_;
+  std::uint64_t hyperperiod_jobs_ = 4096;
+  std::unique_ptr<sim::Machine> machine_;
+};
+
+}  // namespace tsc::core

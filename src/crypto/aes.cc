@@ -1,0 +1,274 @@
+#include "crypto/aes.h"
+
+namespace tsc::crypto {
+namespace {
+
+// GF(2^8) helpers (AES polynomial x^8 + x^4 + x^3 + x + 1).
+constexpr std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1B : 0x00));
+}
+
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t out = 0;
+  while (b != 0) {
+    if (b & 1) out ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return out;
+}
+
+// S-box computed from the field inverse + affine transform rather than a
+// hard-coded table: a transcription typo would silently skew the attack
+// experiments, while a wrong formula fails the FIPS-197 vectors loudly.
+struct SboxTables {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+
+  constexpr SboxTables() {
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t v = affine(inverse(static_cast<std::uint8_t>(x)));
+      fwd[static_cast<std::size_t>(x)] = v;
+      inv[v] = static_cast<std::uint8_t>(x);
+    }
+  }
+
+  static constexpr std::uint8_t inverse(std::uint8_t a) {
+    if (a == 0) return 0;
+    // a^(2^8 - 2) = a^-1 in GF(2^8).
+    std::uint8_t result = 1;
+    std::uint8_t base = a;
+    int e = 254;
+    while (e > 0) {
+      if (e & 1) result = gf_mul(result, base);
+      base = gf_mul(base, base);
+      e >>= 1;
+    }
+    return result;
+  }
+
+  static constexpr std::uint8_t affine(std::uint8_t a) {
+    std::uint8_t out = 0x63;
+    for (int i = 0; i < 8; ++i) {
+      const int bit = ((a >> i) & 1) ^ ((a >> ((i + 4) & 7)) & 1) ^
+                      ((a >> ((i + 5) & 7)) & 1) ^ ((a >> ((i + 6) & 7)) & 1) ^
+                      ((a >> ((i + 7) & 7)) & 1);
+      out = static_cast<std::uint8_t>(out ^ (bit << i));
+    }
+    return out;
+  }
+};
+
+constexpr SboxTables kSbox{};
+
+constexpr std::uint32_t rotr32(std::uint32_t v, unsigned n) {
+  return (v >> n) | (v << (32 - n));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t sub_word(std::uint32_t w) {
+  return (static_cast<std::uint32_t>(kSbox.fwd[(w >> 24) & 0xFF]) << 24) |
+         (static_cast<std::uint32_t>(kSbox.fwd[(w >> 16) & 0xFF]) << 16) |
+         (static_cast<std::uint32_t>(kSbox.fwd[(w >> 8) & 0xFF]) << 8) |
+         static_cast<std::uint32_t>(kSbox.fwd[w & 0xFF]);
+}
+
+// State helpers for the reference path.  FIPS-197 state is column-major:
+// state[r + 4c] = input[4c + r].
+void sub_bytes(std::uint8_t* s) {
+  for (int i = 0; i < 16; ++i) s[i] = kSbox.fwd[s[i]];
+}
+
+void inv_sub_bytes(std::uint8_t* s) {
+  for (int i = 0; i < 16; ++i) s[i] = kSbox.inv[s[i]];
+}
+
+void shift_rows(std::uint8_t* s) {
+  // Row r rotates left by r (bytes r, r+4, r+8, r+12).
+  for (int r = 1; r < 4; ++r) {
+    std::uint8_t row[4];
+    for (int c = 0; c < 4; ++c) row[c] = s[r + 4 * ((c + r) & 3)];
+    for (int c = 0; c < 4; ++c) s[r + 4 * c] = row[c];
+  }
+}
+
+void inv_shift_rows(std::uint8_t* s) {
+  for (int r = 1; r < 4; ++r) {
+    std::uint8_t row[4];
+    for (int c = 0; c < 4; ++c) row[c] = s[r + 4 * ((c - r) & 3)];
+    for (int c = 0; c < 4; ++c) s[r + 4 * c] = row[c];
+  }
+}
+
+void mix_columns(std::uint8_t* s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void inv_mix_columns(std::uint8_t* s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+    col[1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+    col[2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+    col[3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+  }
+}
+
+void add_round_key(std::uint8_t* s, const std::uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    const std::uint32_t w = rk[c];
+    s[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
+    s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+    s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+    s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+  }
+}
+
+Ttables build_ttables() {
+  Ttables t;
+  t.sbox = kSbox.fwd;
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t s = kSbox.fwd[static_cast<std::size_t>(x)];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) |
+                            static_cast<std::uint32_t>(s3);
+    t.te[0][static_cast<std::size_t>(x)] = w;
+    t.te[1][static_cast<std::size_t>(x)] = rotr32(w, 8);
+    t.te[2][static_cast<std::size_t>(x)] = rotr32(w, 16);
+    t.te[3][static_cast<std::size_t>(x)] = rotr32(w, 24);
+  }
+  return t;
+}
+
+}  // namespace
+
+KeySchedule expand_key(const Key& key) {
+  KeySchedule ks;
+  for (int i = 0; i < 4; ++i) ks.words[i] = get_u32(key.data() + 4 * i);
+  std::uint32_t rcon = 0x01000000;
+  for (int i = 4; i < 44; ++i) {
+    std::uint32_t temp = ks.words[i - 1];
+    if (i % 4 == 0) {
+      temp = sub_word((temp << 8) | (temp >> 24)) ^ rcon;
+      rcon = static_cast<std::uint32_t>(xtime(static_cast<std::uint8_t>(
+                 rcon >> 24)))
+             << 24;
+    }
+    ks.words[i] = ks.words[i - 4] ^ temp;
+  }
+  return ks;
+}
+
+Block encrypt_reference(const Block& plaintext, const KeySchedule& ks) {
+  Block state = plaintext;
+  add_round_key(state.data(), ks.words.data());
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes(state.data());
+    shift_rows(state.data());
+    mix_columns(state.data());
+    add_round_key(state.data(), ks.words.data() + 4 * round);
+  }
+  sub_bytes(state.data());
+  shift_rows(state.data());
+  add_round_key(state.data(), ks.words.data() + 40);
+  return state;
+}
+
+Block decrypt_reference(const Block& ciphertext, const KeySchedule& ks) {
+  Block state = ciphertext;
+  add_round_key(state.data(), ks.words.data() + 40);
+  for (int round = 9; round >= 1; --round) {
+    inv_shift_rows(state.data());
+    inv_sub_bytes(state.data());
+    add_round_key(state.data(), ks.words.data() + 4 * round);
+    inv_mix_columns(state.data());
+  }
+  inv_shift_rows(state.data());
+  inv_sub_bytes(state.data());
+  add_round_key(state.data(), ks.words.data());
+  return state;
+}
+
+const Ttables& ttables() {
+  static const Ttables tables = build_ttables();
+  return tables;
+}
+
+Block encrypt_ttable(const Block& plaintext, const KeySchedule& ks) {
+  const Ttables& t = ttables();
+  const std::uint32_t* rk = ks.words.data();
+  std::uint32_t s0 = get_u32(plaintext.data() + 0) ^ rk[0];
+  std::uint32_t s1 = get_u32(plaintext.data() + 4) ^ rk[1];
+  std::uint32_t s2 = get_u32(plaintext.data() + 8) ^ rk[2];
+  std::uint32_t s3 = get_u32(plaintext.data() + 12) ^ rk[3];
+
+  for (int round = 1; round <= 9; ++round) {
+    rk += 4;
+    const std::uint32_t t0 = t.te[0][s0 >> 24] ^ t.te[1][(s1 >> 16) & 0xFF] ^
+                             t.te[2][(s2 >> 8) & 0xFF] ^ t.te[3][s3 & 0xFF] ^
+                             rk[0];
+    const std::uint32_t t1 = t.te[0][s1 >> 24] ^ t.te[1][(s2 >> 16) & 0xFF] ^
+                             t.te[2][(s3 >> 8) & 0xFF] ^ t.te[3][s0 & 0xFF] ^
+                             rk[1];
+    const std::uint32_t t2 = t.te[0][s2 >> 24] ^ t.te[1][(s3 >> 16) & 0xFF] ^
+                             t.te[2][(s0 >> 8) & 0xFF] ^ t.te[3][s1 & 0xFF] ^
+                             rk[2];
+    const std::uint32_t t3 = t.te[0][s3 >> 24] ^ t.te[1][(s0 >> 16) & 0xFF] ^
+                             t.te[2][(s1 >> 8) & 0xFF] ^ t.te[3][s2 & 0xFF] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  rk += 4;
+  Block out;
+  const auto final_word = [&](std::uint32_t a, std::uint32_t b,
+                              std::uint32_t c, std::uint32_t d,
+                              std::uint32_t k) {
+    return (static_cast<std::uint32_t>(t.sbox[a >> 24]) << 24 |
+            static_cast<std::uint32_t>(t.sbox[(b >> 16) & 0xFF]) << 16 |
+            static_cast<std::uint32_t>(t.sbox[(c >> 8) & 0xFF]) << 8 |
+            static_cast<std::uint32_t>(t.sbox[d & 0xFF])) ^
+           k;
+  };
+  put_u32(out.data() + 0, final_word(s0, s1, s2, s3, rk[0]));
+  put_u32(out.data() + 4, final_word(s1, s2, s3, s0, rk[1]));
+  put_u32(out.data() + 8, final_word(s2, s3, s0, s1, rk[2]));
+  put_u32(out.data() + 12, final_word(s3, s0, s1, s2, rk[3]));
+  return out;
+}
+
+std::array<std::uint8_t, 16> first_round_indices(const Block& plaintext,
+                                                 const Key& key) {
+  std::array<std::uint8_t, 16> idx{};
+  for (int i = 0; i < 16; ++i) idx[i] = plaintext[i] ^ key[i];
+  return idx;
+}
+
+}  // namespace tsc::crypto

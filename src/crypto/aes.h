@@ -1,0 +1,62 @@
+// AES-128, the victim algorithm of the paper's case study (section 6.1.1:
+// "Both processors execute 128-bit AES encryption functions").
+//
+// Two functionally identical encryption paths are provided:
+//
+//  * encrypt_reference  - textbook SubBytes/ShiftRows/MixColumns rounds;
+//                         data-independent structure, used as ground truth.
+//  * Ttables + encrypt_ttable - the table-lookup implementation every fast
+//                         software AES uses, and the one Bernstein attacked:
+//                         four 1KB tables indexed by state bytes.  The
+//                         input-dependent table-line footprint is the entire
+//                         side channel (paper section 2.2: "the use of table
+//                         lookups that are input-dependent").
+//
+// Decryption (reference path) completes the library for downstream users.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tsc::crypto {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key = std::array<std::uint8_t, 16>;
+
+/// Expanded AES-128 key schedule: 11 round keys of 4 words.
+struct KeySchedule {
+  std::array<std::uint32_t, 44> words{};
+};
+
+/// FIPS-197 key expansion.
+[[nodiscard]] KeySchedule expand_key(const Key& key);
+
+/// Reference (S-box) encryption.
+[[nodiscard]] Block encrypt_reference(const Block& plaintext,
+                                      const KeySchedule& ks);
+
+/// Reference (inverse cipher) decryption.
+[[nodiscard]] Block decrypt_reference(const Block& ciphertext,
+                                      const KeySchedule& ks);
+
+/// The T-tables.  Te0..Te3 are the rotated MixColumn tables (256 x 4B = 1KB
+/// each); `sbox` doubles as the final-round table.
+struct Ttables {
+  std::array<std::array<std::uint32_t, 256>, 4> te{};
+  std::array<std::uint8_t, 256> sbox{};
+};
+
+/// The process-global constant tables (computed once, read-only after).
+[[nodiscard]] const Ttables& ttables();
+
+/// T-table encryption; bit-exact with encrypt_reference.
+[[nodiscard]] Block encrypt_ttable(const Block& plaintext,
+                                   const KeySchedule& ks);
+
+/// Indices used by round 1 of the T-table path: plaintext[i] XOR key[i].
+/// Exposed because the Bernstein attack's leakage model is exactly the cache
+/// lines these indices touch.
+[[nodiscard]] std::array<std::uint8_t, 16> first_round_indices(
+    const Block& plaintext, const Key& key);
+
+}  // namespace tsc::crypto

@@ -1,0 +1,142 @@
+#include "crypto/sim_aes.h"
+
+namespace tsc::crypto {
+namespace {
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+SimAes::SimAes(sim::Machine& machine, SimAesLayout layout, const Key& key)
+    : machine_(machine), layout_(layout), key_(key), ks_(expand_key(key)) {}
+
+void SimAes::rekey(const Key& key) {
+  key_ = key;
+  ks_ = expand_key(key);
+}
+
+Block SimAes::encrypt(const Block& plaintext) {
+  const Cycles start = machine_.now();
+  const Ttables& t = ttables();
+  const std::uint32_t* rk = ks_.words.data();
+  const Addr rk_base = layout_.round_keys;
+  const unsigned ipr = layout_.instrs_per_round;
+
+  // Prologue: fetch entry code, read the plaintext block from the stack.
+  Addr pc = layout_.code;
+  machine_.instr_block(pc, ipr / 2);
+  for (unsigned i = 0; i < 4; ++i) {
+    machine_.load(pc, layout_.stack + 4 * i);
+  }
+  if (layout_.load_round_keys) {
+    for (unsigned i = 0; i < 4; ++i) {
+      machine_.load(pc, rk_base + 4 * i);
+    }
+  }
+  std::uint32_t s0 = get_u32(plaintext.data() + 0) ^ rk[0];
+  std::uint32_t s1 = get_u32(plaintext.data() + 4) ^ rk[1];
+  std::uint32_t s2 = get_u32(plaintext.data() + 8) ^ rk[2];
+  std::uint32_t s3 = get_u32(plaintext.data() + 12) ^ rk[3];
+
+  for (int round = 1; round <= 9; ++round) {
+    rk += 4;
+    pc = layout_.code + static_cast<Addr>(round) * 4 * ipr;
+    machine_.instr_block(pc, ipr);
+    if (layout_.load_round_keys) {
+      for (unsigned i = 0; i < 4; ++i) {
+        machine_.load(pc, rk_base + static_cast<Addr>(rk - ks_.words.data() +
+                                                      i) *
+                              4);
+      }
+    }
+
+    // The 16 input-dependent table lookups: the side channel itself.
+    const std::uint8_t i00 = s0 >> 24, i01 = (s1 >> 16) & 0xFF;
+    const std::uint8_t i02 = (s2 >> 8) & 0xFF, i03 = s3 & 0xFF;
+    const std::uint8_t i10 = s1 >> 24, i11 = (s2 >> 16) & 0xFF;
+    const std::uint8_t i12 = (s3 >> 8) & 0xFF, i13 = s0 & 0xFF;
+    const std::uint8_t i20 = s2 >> 24, i21 = (s3 >> 16) & 0xFF;
+    const std::uint8_t i22 = (s0 >> 8) & 0xFF, i23 = s1 & 0xFF;
+    const std::uint8_t i30 = s3 >> 24, i31 = (s0 >> 16) & 0xFF;
+    const std::uint8_t i32 = (s1 >> 8) & 0xFF, i33 = s2 & 0xFF;
+    machine_.load(pc, table_entry(0, i00));
+    machine_.load(pc, table_entry(1, i01));
+    machine_.load(pc, table_entry(2, i02));
+    machine_.load(pc, table_entry(3, i03));
+    machine_.load(pc, table_entry(0, i10));
+    machine_.load(pc, table_entry(1, i11));
+    machine_.load(pc, table_entry(2, i12));
+    machine_.load(pc, table_entry(3, i13));
+    machine_.load(pc, table_entry(0, i20));
+    machine_.load(pc, table_entry(1, i21));
+    machine_.load(pc, table_entry(2, i22));
+    machine_.load(pc, table_entry(3, i23));
+    machine_.load(pc, table_entry(0, i30));
+    machine_.load(pc, table_entry(1, i31));
+    machine_.load(pc, table_entry(2, i32));
+    machine_.load(pc, table_entry(3, i33));
+
+    const std::uint32_t t0 = t.te[0][i00] ^ t.te[1][i01] ^ t.te[2][i02] ^
+                             t.te[3][i03] ^ rk[0];
+    const std::uint32_t t1 = t.te[0][i10] ^ t.te[1][i11] ^ t.te[2][i12] ^
+                             t.te[3][i13] ^ rk[1];
+    const std::uint32_t t2 = t.te[0][i20] ^ t.te[1][i21] ^ t.te[2][i22] ^
+                             t.te[3][i23] ^ rk[2];
+    const std::uint32_t t3 = t.te[0][i30] ^ t.te[1][i31] ^ t.te[2][i32] ^
+                             t.te[3][i33] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  // Final round: S-box table, no MixColumns.
+  rk += 4;
+  pc = layout_.code + 10 * 4 * static_cast<Addr>(ipr);
+  machine_.instr_block(pc, ipr);
+  if (layout_.load_round_keys) {
+    for (unsigned i = 0; i < 4; ++i) {
+      machine_.load(pc, rk_base + (40 + i) * 4);
+    }
+  }
+  Block out;
+  const auto final_word = [&](std::uint32_t a, std::uint32_t b,
+                              std::uint32_t c, std::uint32_t d,
+                              std::uint32_t k) {
+    machine_.load(pc, table_entry(4, static_cast<std::uint8_t>(a >> 24)));
+    machine_.load(pc, table_entry(4, static_cast<std::uint8_t>(b >> 16)));
+    machine_.load(pc, table_entry(4, static_cast<std::uint8_t>(c >> 8)));
+    machine_.load(pc, table_entry(4, static_cast<std::uint8_t>(d)));
+    return (static_cast<std::uint32_t>(t.sbox[a >> 24]) << 24 |
+            static_cast<std::uint32_t>(t.sbox[(b >> 16) & 0xFF]) << 16 |
+            static_cast<std::uint32_t>(t.sbox[(c >> 8) & 0xFF]) << 8 |
+            static_cast<std::uint32_t>(t.sbox[d & 0xFF])) ^
+           k;
+  };
+  put_u32(out.data() + 0, final_word(s0, s1, s2, s3, rk[0]));
+  put_u32(out.data() + 4, final_word(s1, s2, s3, s0, rk[1]));
+  put_u32(out.data() + 8, final_word(s2, s3, s0, s1, rk[2]));
+  put_u32(out.data() + 12, final_word(s3, s0, s1, s2, rk[3]));
+
+  // Epilogue: write the ciphertext back to the stack.
+  for (unsigned i = 0; i < 4; ++i) {
+    machine_.store(pc, layout_.stack + 16 + 4 * i);
+  }
+
+  last_duration_ = machine_.now() - start;
+  return out;
+}
+
+}  // namespace tsc::crypto

@@ -1,0 +1,75 @@
+// AES-128 running *on the simulated machine*: every instruction fetch, table
+// lookup, round-key load and stack access is issued to the cache hierarchy
+// while the encryption is computed functionally on the host.
+//
+// This is the substitution for the paper's victim binary running inside its
+// SocLib simulator: the Bernstein attack needs execution times whose
+// variation is caused by which T-table cache lines each encryption touches,
+// and that is precisely what this instrumentation produces.  Output equality
+// with crypto::encrypt_ttable is enforced by tests, so the timing model can
+// never drift from the functional algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "crypto/aes.h"
+#include "sim/machine.h"
+
+namespace tsc::crypto {
+
+/// Memory image of the AES victim process.  Defaults model a small
+/// statically linked routine: code, tables, keys and stack in distinct
+/// regions (distinct pages).
+struct SimAesLayout {
+  Addr code = 0x0001'0000;        ///< 11 round blocks of code
+  Addr tables = 0x0002'0000;      ///< Te0..Te3 (4KB) + final-round table (1KB)
+  Addr round_keys = 0x0003'0000;  ///< 176B key schedule
+  Addr stack = 0x0003'4000;       ///< state buffer and locals
+  /// Straight-line instructions modeled per round (ARM-ish: ~4 ops per
+  /// T-table lookup step).
+  unsigned instrs_per_round = 40;
+  /// Whether round-key words are loaded from memory each round (a register-
+  /// blocked implementation would keep them resident; Bernstein's victim,
+  /// like OpenSSL's, reloads them).
+  bool load_round_keys = true;
+
+  /// Byte size of one Te table (256 entries x 4B).
+  static constexpr std::uint32_t kTableBytes = 1024;
+};
+
+/// The instrumented cipher.  One instance = one victim process image; the
+/// process identity used for cache accesses is whatever the Machine's
+/// current process is at encrypt() time.
+class SimAes {
+ public:
+  SimAes(sim::Machine& machine, SimAesLayout layout, const Key& key);
+
+  /// Encrypt one block on the simulated machine; advances machine time.
+  /// Returns the ciphertext (bit-exact with encrypt_ttable).
+  Block encrypt(const Block& plaintext);
+
+  /// Cycles consumed by the most recent encrypt() call.
+  [[nodiscard]] Cycles last_duration() const { return last_duration_; }
+
+  [[nodiscard]] const Key& key() const { return key_; }
+  [[nodiscard]] const SimAesLayout& layout() const { return layout_; }
+
+  /// Replace the key (new schedule; same memory image).
+  void rekey(const Key& key);
+
+ private:
+  /// Simulated address of entry `idx` of table `t` (0..3 = Te, 4 = final).
+  [[nodiscard]] Addr table_entry(unsigned t, std::uint8_t idx) const {
+    return layout_.tables + t * SimAesLayout::kTableBytes +
+           static_cast<Addr>(idx) * 4;
+  }
+
+  sim::Machine& machine_;
+  SimAesLayout layout_;
+  Key key_;
+  KeySchedule ks_;
+  Cycles last_duration_ = 0;
+};
+
+}  // namespace tsc::crypto

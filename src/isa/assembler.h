@@ -1,0 +1,49 @@
+// Two-pass TSISA assembler.
+//
+// Syntax (one statement per line, ';' or '#' start comments):
+//
+//   label:                       ; labels end with ':'
+//     addi r1, r0, 10            ; I-type ALU
+//     lw   r2, 8(r1)             ; memory: offset(base)
+//     beq  r1, r2, done          ; branches take label or numeric offsets
+//     jal  r15, function         ; call
+//     la   r3, table             ; pseudo: lui+ori, loads a 32-bit address
+//     li   r4, 0x12345678        ; pseudo: lui+ori (or addi when it fits)
+//     halt
+//   .word 42                     ; 32-bit data in the instruction stream
+//   .space 64                    ; zero-filled bytes
+//
+// Immediates are decimal or 0x-hex, optionally negative.  Branch/jump label
+// offsets are PC-relative in words, computed by the assembler.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/isa.h"
+
+namespace tsc::isa {
+
+/// Assembled image: words to place at `base`, plus the symbol table.
+struct Program {
+  Addr base = 0;
+  std::vector<std::uint32_t> words;
+  std::unordered_map<std::string, Addr> symbols;
+
+  [[nodiscard]] Addr end() const { return base + 4 * words.size(); }
+};
+
+/// Thrown on malformed source; message includes the line number.
+class AssemblyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Assemble `source` for load address `base`.
+[[nodiscard]] Program assemble(const std::string& source, Addr base);
+
+}  // namespace tsc::isa

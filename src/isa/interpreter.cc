@@ -1,0 +1,209 @@
+#include "isa/interpreter.h"
+
+#include <cassert>
+
+namespace tsc::isa {
+
+const SparseMemory::Page* SparseMemory::page_of(Addr a) const {
+  const auto it = pages_.find(a / kPageBytes);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page& SparseMemory::page_for(Addr a) {
+  auto& slot = pages_[a / kPageBytes];
+  if (slot == nullptr) slot = std::make_unique<Page>();
+  return *slot;
+}
+
+std::uint8_t SparseMemory::load8(Addr a) const {
+  const Page* page = page_of(a);
+  return page == nullptr ? 0 : (*page)[a % kPageBytes];
+}
+
+void SparseMemory::store8(Addr a, std::uint8_t v) {
+  page_for(a)[a % kPageBytes] = v;
+}
+
+std::uint32_t SparseMemory::load32(Addr a) const {
+  return static_cast<std::uint32_t>(load8(a)) |
+         (static_cast<std::uint32_t>(load8(a + 1)) << 8) |
+         (static_cast<std::uint32_t>(load8(a + 2)) << 16) |
+         (static_cast<std::uint32_t>(load8(a + 3)) << 24);
+}
+
+void SparseMemory::store32(Addr a, std::uint32_t v) {
+  store8(a, static_cast<std::uint8_t>(v));
+  store8(a + 1, static_cast<std::uint8_t>(v >> 8));
+  store8(a + 2, static_cast<std::uint8_t>(v >> 16));
+  store8(a + 3, static_cast<std::uint8_t>(v >> 24));
+}
+
+void Interpreter::load_program(const Program& program) {
+  for (std::size_t i = 0; i < program.words.size(); ++i) {
+    memory_.store32(program.base + 4 * i, program.words[i]);
+  }
+}
+
+void Interpreter::poke_bytes(Addr a, const std::uint8_t* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) memory_.store8(a + i, data[i]);
+}
+
+void Interpreter::set_reg(unsigned index, std::uint32_t value) {
+  assert(index < 16);
+  if (index != 0) regs_[index] = value;  // r0 is hardwired to zero
+}
+
+RunResult Interpreter::run(Addr entry, std::uint64_t max_steps) {
+  const Cycles start_cycles = machine_.now();
+  RunResult result;
+  Addr pc = entry;
+
+  while (result.steps < max_steps) {
+    const std::uint32_t word = memory_.load32(pc);
+    const auto decoded = decode(word);
+    if (!decoded.has_value()) {
+      result.reason = StopReason::kBadInstruction;
+      break;
+    }
+    const Instr in = *decoded;
+    ++result.steps;
+
+    const std::uint32_t a = regs_[in.rs1];
+    const std::uint32_t b = regs_[in.rs2];
+    const auto imm = static_cast<std::uint32_t>(in.imm);
+    Addr next_pc = pc + 4;
+    bool done = false;
+
+    switch (in.op) {
+      case Op::kAdd: machine_.instr(pc); set_reg(in.rd, a + b); break;
+      case Op::kSub: machine_.instr(pc); set_reg(in.rd, a - b); break;
+      case Op::kAnd: machine_.instr(pc); set_reg(in.rd, a & b); break;
+      case Op::kOr:  machine_.instr(pc); set_reg(in.rd, a | b); break;
+      case Op::kXor: machine_.instr(pc); set_reg(in.rd, a ^ b); break;
+      case Op::kSll: machine_.instr(pc); set_reg(in.rd, a << (b & 31)); break;
+      case Op::kSrl: machine_.instr(pc); set_reg(in.rd, a >> (b & 31)); break;
+      case Op::kSra:
+        machine_.instr(pc);
+        set_reg(in.rd, static_cast<std::uint32_t>(
+                           static_cast<std::int32_t>(a) >> (b & 31)));
+        break;
+      case Op::kSlt:
+        machine_.instr(pc);
+        set_reg(in.rd, static_cast<std::int32_t>(a) <
+                               static_cast<std::int32_t>(b)
+                           ? 1
+                           : 0);
+        break;
+      case Op::kSltu: machine_.instr(pc); set_reg(in.rd, a < b ? 1 : 0); break;
+      case Op::kMul:  machine_.instr(pc); set_reg(in.rd, a * b); break;
+
+      case Op::kAddi: machine_.instr(pc); set_reg(in.rd, a + imm); break;
+      case Op::kAndi: machine_.instr(pc); set_reg(in.rd, a & imm); break;
+      case Op::kOri:  machine_.instr(pc); set_reg(in.rd, a | imm); break;
+      case Op::kXori: machine_.instr(pc); set_reg(in.rd, a ^ imm); break;
+      case Op::kSlli: machine_.instr(pc); set_reg(in.rd, a << (imm & 31)); break;
+      case Op::kSrli: machine_.instr(pc); set_reg(in.rd, a >> (imm & 31)); break;
+      case Op::kSlti:
+        machine_.instr(pc);
+        set_reg(in.rd, static_cast<std::int32_t>(a) < in.imm ? 1 : 0);
+        break;
+      case Op::kLui: machine_.instr(pc); set_reg(in.rd, imm << 16); break;
+
+      case Op::kLw: {
+        const Addr ea = a + imm;
+        machine_.load(pc, ea);
+        set_reg(in.rd, memory_.load32(ea));
+        break;
+      }
+      case Op::kLb: {
+        const Addr ea = a + imm;
+        machine_.load(pc, ea);
+        set_reg(in.rd, static_cast<std::uint32_t>(
+                           static_cast<std::int32_t>(
+                               static_cast<std::int8_t>(memory_.load8(ea)))));
+        break;
+      }
+      case Op::kLbu: {
+        const Addr ea = a + imm;
+        machine_.load(pc, ea);
+        set_reg(in.rd, memory_.load8(ea));
+        break;
+      }
+      case Op::kSw: {
+        const Addr ea = a + imm;
+        machine_.store(pc, ea);
+        memory_.store32(ea, regs_[in.rd]);
+        break;
+      }
+      case Op::kSb: {
+        const Addr ea = a + imm;
+        machine_.store(pc, ea);
+        memory_.store8(ea, static_cast<std::uint8_t>(regs_[in.rd]));
+        break;
+      }
+
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu: {
+        bool taken = false;
+        switch (in.op) {
+          case Op::kBeq: taken = a == b; break;
+          case Op::kBne: taken = a != b; break;
+          case Op::kBlt:
+            taken = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+            break;
+          case Op::kBge:
+            taken =
+                static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b);
+            break;
+          case Op::kBltu: taken = a < b; break;
+          case Op::kBgeu: taken = a >= b; break;
+          default: break;
+        }
+        machine_.branch(pc, taken);
+        if (taken) {
+          next_pc = pc + 4 + 4 * static_cast<Addr>(
+                                     static_cast<std::int64_t>(in.imm));
+        }
+        break;
+      }
+      case Op::kJal:
+        machine_.branch(pc, true);
+        set_reg(in.rd, static_cast<std::uint32_t>(pc + 4));
+        next_pc =
+            pc + 4 + 4 * static_cast<Addr>(static_cast<std::int64_t>(in.imm));
+        break;
+      case Op::kJalr: {
+        machine_.branch(pc, true);
+        const Addr target = a;  // read rs1 before rd overwrites it
+        set_reg(in.rd, static_cast<std::uint32_t>(pc + 4));
+        next_pc = target;
+        break;
+      }
+
+      case Op::kHalt:
+        machine_.instr(pc);
+        done = true;
+        break;
+      case Op::kNop:
+        machine_.instr(pc);
+        break;
+    }
+
+    pc = next_pc;
+    if (done) {
+      result.reason = StopReason::kHalt;
+      result.cycles = machine_.now() - start_cycles;
+      return result;
+    }
+  }
+
+  if (result.steps >= max_steps) result.reason = StopReason::kStepLimit;
+  result.cycles = machine_.now() - start_cycles;
+  return result;
+}
+
+}  // namespace tsc::isa

@@ -1,0 +1,80 @@
+// TSISA interpreter: functional execution + cycle accounting on a Machine.
+//
+// Every instruction fetch goes through the simulated L1I at the program
+// counter's real address; loads and stores go through the L1D; taken
+// branches pay the pipeline bubble.  Data lives in a sparse paged memory so
+// programs can use the full 32-bit address space without preallocating it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "isa/assembler.h"
+#include "sim/machine.h"
+
+namespace tsc::isa {
+
+/// Sparse byte-addressable memory (4KB pages, zero-initialized).
+class SparseMemory {
+ public:
+  [[nodiscard]] std::uint8_t load8(Addr a) const;
+  void store8(Addr a, std::uint8_t v);
+  [[nodiscard]] std::uint32_t load32(Addr a) const;  ///< little-endian
+  void store32(Addr a, std::uint32_t v);
+
+ private:
+  static constexpr Addr kPageBytes = 4096;
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  [[nodiscard]] const Page* page_of(Addr a) const;
+  [[nodiscard]] Page& page_for(Addr a);
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/// Why execution stopped.
+enum class StopReason { kHalt, kStepLimit, kBadInstruction };
+
+/// Result of a run.
+struct RunResult {
+  StopReason reason = StopReason::kHalt;
+  std::uint64_t steps = 0;   ///< instructions executed
+  Cycles cycles = 0;         ///< machine cycles consumed by the run
+};
+
+/// The interpreter.  One instance owns registers and data memory; the
+/// Machine provides timing and is shared with whatever else runs on it.
+class Interpreter {
+ public:
+  explicit Interpreter(sim::Machine& machine) : machine_(machine) {}
+
+  /// Copy a program image into memory (words become little-endian bytes).
+  void load_program(const Program& program);
+
+  /// Write a data block into simulated memory (no timing cost: models
+  /// initialized data sections present at boot).
+  void poke_bytes(Addr a, const std::uint8_t* data, std::size_t n);
+  void poke32(Addr a, std::uint32_t v) { memory_.store32(a, v); }
+  [[nodiscard]] std::uint32_t peek32(Addr a) const { return memory_.load32(a); }
+
+  /// Run from `entry` until HALT, a bad instruction, or `max_steps`.
+  RunResult run(Addr entry, std::uint64_t max_steps = 10'000'000);
+
+  [[nodiscard]] std::uint32_t reg(unsigned index) const {
+    return regs_.at(index);
+  }
+  void set_reg(unsigned index, std::uint32_t value);
+
+  [[nodiscard]] SparseMemory& memory() { return memory_; }
+  [[nodiscard]] sim::Machine& machine() { return machine_; }
+
+ private:
+  sim::Machine& machine_;
+  SparseMemory memory_;
+  std::array<std::uint32_t, 16> regs_{};
+};
+
+}  // namespace tsc::isa

@@ -1,0 +1,151 @@
+#include "isa/kernels.h"
+
+#include <cstdio>
+
+namespace tsc::isa {
+namespace {
+
+template <typename... Args>
+std::string format(const char* fmt, Args... args) {
+  char buf[2048];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  return buf;
+}
+
+}  // namespace
+
+std::string vector_sum_source(Addr data, unsigned n) {
+  return format(R"(
+        la   r1, 0x%llx        ; data base
+        li   r2, %u            ; n
+        addi r3, r0, 0         ; sum
+        addi r4, r0, 0         ; i
+loop:   bge  r4, r2, done
+        slli r5, r4, 2
+        add  r5, r5, r1
+        lw   r6, 0(r5)
+        add  r3, r3, r6
+        addi r4, r4, 1
+        jal  r0, loop
+done:   halt
+)",
+                static_cast<unsigned long long>(data), n);
+}
+
+std::string memcpy_source(Addr src, Addr dst, unsigned words) {
+  return format(R"(
+        la   r1, 0x%llx        ; src
+        li   r2, %u            ; word count
+        la   r3, 0x%x          ; dst
+        addi r4, r0, 0         ; i
+loop:   bge  r4, r2, done
+        slli r5, r4, 2
+        add  r6, r5, r1
+        lw   r7, 0(r6)
+        add  r8, r5, r3
+        sw   r7, 0(r8)
+        addi r4, r4, 1
+        jal  r0, loop
+done:   halt
+)",
+                static_cast<unsigned long long>(src), words,
+                static_cast<unsigned>(dst));
+}
+
+std::string bubble_sort_source(Addr data, unsigned n) {
+  return format(R"(
+        la   r1, 0x%llx        ; data
+        li   r2, %u            ; n
+        addi r3, r0, 0         ; i
+outer:  addi r4, r2, -1
+        bge  r3, r4, done
+        addi r5, r0, 0         ; j
+inner:  sub  r6, r2, r3
+        addi r6, r6, -1
+        bge  r5, r6, next_i
+        slli r7, r5, 2
+        add  r7, r7, r1
+        lw   r8, 0(r7)
+        lw   r9, 4(r7)
+        bge  r9, r8, no_swap   ; already ordered
+        sw   r9, 0(r7)
+        sw   r8, 4(r7)
+no_swap:
+        addi r5, r5, 1
+        jal  r0, inner
+next_i: addi r3, r3, 1
+        jal  r0, outer
+done:   halt
+)",
+                static_cast<unsigned long long>(data), n);
+}
+
+std::string matmul_source(Addr a, Addr b, Addr c, unsigned n) {
+  return format(R"(
+        li   r1, %u            ; n
+        addi r2, r0, 0         ; i
+i_loop: bge  r2, r1, done
+        addi r3, r0, 0         ; j
+j_loop: bge  r3, r1, next_i
+        addi r4, r0, 0         ; k
+        addi r5, r0, 0         ; acc
+k_loop: bge  r4, r1, store_c
+        ; a[i*n + k]
+        mul  r6, r2, r1
+        add  r6, r6, r4
+        slli r6, r6, 2
+        la   r7, 0x%x
+        add  r6, r6, r7
+        lw   r8, 0(r6)
+        ; b[k*n + j]
+        mul  r6, r4, r1
+        add  r6, r6, r3
+        slli r6, r6, 2
+        la   r7, 0x%x
+        add  r6, r6, r7
+        lw   r9, 0(r6)
+        mul  r8, r8, r9
+        add  r5, r5, r8
+        addi r4, r4, 1
+        jal  r0, k_loop
+store_c:
+        mul  r6, r2, r1
+        add  r6, r6, r3
+        slli r6, r6, 2
+        la   r7, 0x%x
+        add  r6, r6, r7
+        sw   r5, 0(r6)
+        addi r3, r3, 1
+        jal  r0, j_loop
+next_i: addi r2, r2, 1
+        jal  r0, i_loop
+done:   halt
+)",
+                n, static_cast<unsigned>(a), static_cast<unsigned>(b),
+                static_cast<unsigned>(c));
+}
+
+std::string stride_walk_source(Addr data, unsigned touches, unsigned stride,
+                               unsigned span) {
+  return format(R"(
+        la   r1, 0x%llx        ; data base
+        li   r2, %u            ; touches
+        li   r3, %u            ; stride
+        li   r4, %u            ; span (power of two)
+        addi r5, r4, -1        ; wrap mask
+        addi r6, r0, 0         ; offset
+        addi r7, r0, 0         ; count
+loop:   bge  r7, r2, done
+        add  r8, r1, r6
+        lw   r9, 0(r8)
+        add  r6, r6, r3
+        and  r6, r6, r5
+        addi r7, r7, 1
+        jal  r0, loop
+done:   halt
+)",
+                static_cast<unsigned long long>(data), touches, stride,
+                span);
+}
+
+}  // namespace tsc::isa

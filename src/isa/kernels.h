@@ -1,0 +1,33 @@
+// Canned TSISA kernels for the timing experiments and examples.
+//
+// Each function returns assembly source parameterized by data addresses and
+// problem size.  The kernels are small but real: loops, branches, nested
+// subscripts - the control/data mix whose cache behaviour the pWCET and
+// miss-rate experiments measure.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace tsc::isa {
+
+/// Sum of n 32-bit words at `data`; result in r3.
+[[nodiscard]] std::string vector_sum_source(Addr data, unsigned n);
+
+/// Copy `words` 32-bit words from `src` to `dst`.
+[[nodiscard]] std::string memcpy_source(Addr src, Addr dst, unsigned words);
+
+/// In-place bubble sort of n 32-bit signed words at `data`.
+[[nodiscard]] std::string bubble_sort_source(Addr data, unsigned n);
+
+/// n x n int32 matrix multiply: c = a * b (row-major).
+[[nodiscard]] std::string matmul_source(Addr a, Addr b, Addr c, unsigned n);
+
+/// Strided walker: `touches` loads from `data` with byte stride `stride`
+/// (wrapping at `span` bytes) - the classic cache-thrashing kernel for
+/// miss-rate sweeps.
+[[nodiscard]] std::string stride_walk_source(Addr data, unsigned touches,
+                                             unsigned stride, unsigned span);
+
+}  // namespace tsc::isa

@@ -1,0 +1,79 @@
+#include "mbpta/analysis.h"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tsc::mbpta {
+
+double AnalysisReport::pwcet(double exceedance_prob) const {
+  if (!model.has_value()) {
+    throw std::logic_error(
+        "pWCET requested but the sample failed the i.i.d. tests: "
+        "MBPTA is not applicable to this platform");
+  }
+  return model->pwcet(exceedance_prob);
+}
+
+std::vector<stats::PwcetPoint> AnalysisReport::curve(double min_prob) const {
+  if (!model.has_value()) {
+    throw std::logic_error("pWCET curve requested without an applicable model");
+  }
+  return model->curve(min_prob);
+}
+
+AnalysisReport analyze(std::span<const double> execution_times,
+                       const AnalysisConfig& config) {
+  if (execution_times.size() < config.min_runs) {
+    throw std::invalid_argument(
+        "MBPTA needs at least " + std::to_string(config.min_runs) +
+        " runs, got " + std::to_string(execution_times.size()));
+  }
+
+  AnalysisReport report;
+  report.runs = execution_times.size();
+  report.sample = stats::summarize(execution_times);
+  report.alpha = config.alpha;
+  report.iid = stats::iid_check(execution_times, config.lags);
+
+  // A constant sample (every run identical) trivially satisfies i.i.d. but
+  // carries no tail to model; report it as applicable with a degenerate
+  // model is worse than being explicit, so we fit only on real variance.
+  if (report.iid.passed(config.alpha) && report.sample.stddev > 0) {
+    report.model.emplace(execution_times, config.tail, config.block);
+  }
+  return report;
+}
+
+std::string render_report(const AnalysisReport& report) {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof line, "runs: %zu  mean: %.1f  sd: %.1f  max: %.1f\n",
+                report.runs, report.sample.mean, report.sample.stddev,
+                report.sample.max);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "independence (Ljung-Box, %zu lags): Q=%.2f p=%.4f -> %s\n",
+                report.iid.independence.dof, report.iid.independence.statistic,
+                report.iid.independence.p_value,
+                report.iid.independence.passed(report.alpha) ? "PASS" : "FAIL");
+  out += line;
+  std::snprintf(line, sizeof line,
+                "identical distribution (KS 2-sample): D=%.4f p=%.4f -> %s\n",
+                report.iid.identical.statistic, report.iid.identical.p_value,
+                report.iid.identical.passed(report.alpha) ? "PASS" : "FAIL");
+  out += line;
+  if (!report.mbpta_applicable()) {
+    out += "MBPTA: NOT APPLICABLE (hypothesis tests failed)\n";
+    return out;
+  }
+  out += "MBPTA: applicable; pWCET (exceedance -> bound):\n";
+  for (const auto& pt : report.curve(1e-12)) {
+    std::snprintf(line, sizeof line, "  %.0e -> %.1f\n", pt.exceedance_prob,
+                  pt.bound);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tsc::mbpta

@@ -1,0 +1,61 @@
+// The MBPTA workflow of paper Figure 1 (left): collect execution-time
+// measurements on the target, verify the statistical hypotheses EVT needs
+// (independence and identical distribution, section 6.2.2), fit the tail,
+// and deliver the pWCET distribution.
+//
+// The applicability gate matters: MBPTA results are only trustworthy when
+// the i.i.d. tests pass, which on this library's platforms is precisely what
+// random placement/replacement provides and deterministic caches break.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/evt.h"
+#include "stats/tests.h"
+
+namespace tsc::mbpta {
+
+/// Analysis parameters (defaults follow the paper: Ljung-Box over 20 lags,
+/// KS two-sample, alpha = 0.05).
+struct AnalysisConfig {
+  std::size_t min_runs = 300;   ///< below this, refuse to analyze
+  std::size_t lags = 20;        ///< Ljung-Box lags
+  double alpha = 0.05;          ///< significance level for both i.i.d. tests
+  stats::TailModel tail = stats::TailModel::kGpdPot;
+  std::size_t block = 20;       ///< block size for the Gumbel variant
+};
+
+/// Everything MBPTA produces for one task.
+struct AnalysisReport {
+  std::size_t runs = 0;
+  stats::Summary sample;       ///< descriptive statistics of the sample
+  stats::IidVerdict iid;       ///< Ljung-Box + KS verdicts
+  double alpha = 0.05;
+  std::optional<stats::PwcetModel> model;  ///< present iff i.i.d. passed
+
+  /// True when the sample passed both hypothesis tests and a tail model was
+  /// fitted - i.e. MBPTA may be applied to this platform/task combination.
+  [[nodiscard]] bool mbpta_applicable() const { return model.has_value(); }
+
+  /// pWCET at the given per-run exceedance probability (e.g. 1e-10).
+  /// Precondition: mbpta_applicable().
+  [[nodiscard]] double pwcet(double exceedance_prob) const;
+
+  /// pWCET curve points, one per decade (Fig. 1 right).
+  /// Precondition: mbpta_applicable().
+  [[nodiscard]] std::vector<stats::PwcetPoint> curve(
+      double min_prob = 1e-15) const;
+};
+
+/// Run the workflow on a sample of per-run execution times (cycles).
+[[nodiscard]] AnalysisReport analyze(std::span<const double> execution_times,
+                                     const AnalysisConfig& config = {});
+
+/// Human-readable report (for examples and experiment logs).
+[[nodiscard]] std::string render_report(const AnalysisReport& report);
+
+}  // namespace tsc::mbpta

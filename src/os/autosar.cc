@@ -1,0 +1,212 @@
+#include "os/autosar.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "rng/rng.h"
+
+namespace tsc::os {
+namespace {
+
+// SWC index i runs under ProcId i+1; kOsProc (0) stays reserved for the OS.
+ProcId proc_for_swc(std::size_t swc_index) {
+  return ProcId{static_cast<std::uint32_t>(swc_index + 1)};
+}
+
+}  // namespace
+
+std::string to_string(SeedPolicy policy) {
+  switch (policy) {
+    case SeedPolicy::kNone:
+      return "none";
+    case SeedPolicy::kGlobalShared:
+      return "global-shared";
+    case SeedPolicy::kPerSwc:
+      return "per-swc";
+    case SeedPolicy::kPerSwcHyperperiod:
+      return "per-swc-hyperperiod";
+  }
+  return "?";
+}
+
+CyclicExecutive::CyclicExecutive(sim::Machine& machine, AppSpec app,
+                                 SeedPolicy policy, std::uint64_t master_seed)
+    : machine_(machine),
+      app_(std::move(app)),
+      policy_(policy),
+      master_seed_(master_seed) {
+  if (app_.swcs.empty()) {
+    throw std::invalid_argument("application has no software components");
+  }
+  // Hyperperiod = LCM of all periods.
+  hyperperiod_ = 1;
+  for (const SwcSpec& swc : app_.swcs) {
+    if (swc.runnables.empty()) {
+      throw std::invalid_argument("SWC '" + swc.name + "' has no runnables");
+    }
+    for (const RunnableSpec& r : swc.runnables) {
+      if (r.period == 0) {
+        throw std::invalid_argument("runnable '" + r.name +
+                                    "' has period zero");
+      }
+      hyperperiod_ = std::lcm(hyperperiod_, r.period);
+    }
+  }
+
+  // Expand one hyperperiod of job releases.  Stable sort by release keeps
+  // declaration order inside each release instant, preserving the data
+  // dependencies the application encodes (Fig. 3: R1 -> R2, R4 -> R5).
+  for (std::size_t s = 0; s < app_.swcs.size(); ++s) {
+    for (std::size_t r = 0; r < app_.swcs[s].runnables.size(); ++r) {
+      const Cycles period = app_.swcs[s].runnables[r].period;
+      for (Cycles t = 0; t < hyperperiod_; t += period) {
+        schedule_.push_back({t, s, r});
+      }
+    }
+  }
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const JobSlot& a, const JobSlot& b) {
+                     return a.release < b.release;
+                   });
+
+  // Initial seeds are installed before the system starts: no timing cost.
+  install_seeds(0, /*charge_cost=*/false);
+}
+
+Seed CyclicExecutive::draw_seed(std::size_t swc_index,
+                                std::uint64_t hyperperiod_index) const {
+  switch (policy_) {
+    case SeedPolicy::kNone:
+      return Seed{0};
+    case SeedPolicy::kGlobalShared:
+      return Seed{rng::derive_seed(master_seed_, 0x6D0BA1)};
+    case SeedPolicy::kPerSwc:
+      return Seed{rng::derive_seed(master_seed_, 0x5AC0 + swc_index)};
+    case SeedPolicy::kPerSwcHyperperiod:
+      return Seed{rng::derive_seed(
+          rng::derive_seed(master_seed_, 0x5AC0 + swc_index),
+          hyperperiod_index)};
+  }
+  return Seed{0};
+}
+
+void CyclicExecutive::install_seeds(std::uint64_t hyperperiod_index,
+                                    bool charge_cost) {
+  for (std::size_t s = 0; s < app_.swcs.size(); ++s) {
+    const Seed seed = draw_seed(s, hyperperiod_index);
+    if (charge_cost) {
+      machine_.set_seed(proc_for_swc(s), seed);
+      ++trace_.seed_changes;
+    } else {
+      machine_.hierarchy().set_seed(proc_for_swc(s), seed);
+    }
+  }
+  // The OS has its own seed domain (Fig. 3: "the OS seed needs to be used").
+  const Seed os_seed =
+      Seed{rng::derive_seed(rng::derive_seed(master_seed_, 0x0515),
+                            policy_ == SeedPolicy::kPerSwcHyperperiod
+                                ? hyperperiod_index
+                                : 0)};
+  if (charge_cost) {
+    machine_.set_seed(kOsProc, os_seed);
+    ++trace_.seed_changes;
+  } else {
+    machine_.hierarchy().set_seed(kOsProc, os_seed);
+  }
+}
+
+void CyclicExecutive::run(std::uint64_t count) {
+  for (std::uint64_t h = 0; h < count; ++h) {
+    const std::uint64_t index = next_hyperperiod_++;
+    if (index > 0 && policy_ == SeedPolicy::kPerSwcHyperperiod) {
+      // Hyperperiod boundary: new random seeds for every SWC + flush
+      // (section 5).  This is the only point where the cache is flushed.
+      install_seeds(index, /*charge_cost=*/true);
+      machine_.flush_caches();
+      ++trace_.flushes;
+    }
+
+    const Cycles timeline_start = machine_.now();
+    std::size_t previous_swc = app_.swcs.size();  // sentinel: none yet
+    for (const JobSlot& slot : schedule_) {
+      const SwcSpec& swc = app_.swcs[slot.swc_index];
+      const RunnableSpec& runnable = swc.runnables[slot.runnable_index];
+
+      // Honour the release: idle until the job's release instant (unless
+      // the schedule is already running late, in which case start at once).
+      const Cycles release_time = timeline_start + slot.release;
+      if (machine_.now() < release_time) {
+        machine_.advance(release_time - machine_.now());
+      }
+
+      if (slot.swc_index != previous_swc) {
+        if (previous_swc != app_.swcs.size()) {
+          // Context switch across SWCs: store the outgoing seed, empty the
+          // pipeline, restore the incoming seed (section 5).  Seeds are
+          // banked per process in the seed registers, so only the drain and
+          // the register swap cost time.
+          machine_.drain();
+          machine_.advance(machine_.latency().seed_update);
+          ++trace_.context_switches;
+        }
+        previous_swc = slot.swc_index;
+      }
+
+      machine_.set_process(proc_for_swc(slot.swc_index));
+      JobRecord record;
+      record.runnable = runnable.name;
+      record.swc = swc.name;
+      record.hyperperiod_index = index;
+      record.release = slot.release;
+      record.start = machine_.now();
+      runnable.work(machine_);
+      record.duration = machine_.now() - record.start;
+      trace_.jobs.push_back(std::move(record));
+    }
+  }
+}
+
+ProcId CyclicExecutive::proc_of(const std::string& swc_name) const {
+  for (std::size_t s = 0; s < app_.swcs.size(); ++s) {
+    if (app_.swcs[s].name == swc_name) return proc_for_swc(s);
+  }
+  throw std::out_of_range("unknown SWC: " + swc_name);
+}
+
+Seed CyclicExecutive::seed_of(const std::string& swc_name) {
+  return machine_.hierarchy().l1d().seed(proc_of(swc_name));
+}
+
+Workload make_touch_workload(Addr code, Addr base, unsigned lines,
+                             unsigned instrs) {
+  return [code, base, lines, instrs](sim::Machine& m) {
+    const std::uint32_t line_bytes =
+        m.hierarchy().l1d().geometry().line_bytes();
+    m.instr_block(code, instrs);
+    for (unsigned i = 0; i < lines; ++i) {
+      m.load(code, base + static_cast<Addr>(i) * line_bytes);
+    }
+  };
+}
+
+AppSpec figure3_app(Cycles tick) {
+  // Figure 3: application 1 = {SWC1: R1 every 10ms; SWC2: R2 every 10ms,
+  // R3 every 20ms}; application 2 = {SWC3: R4, R5 every 20ms}.
+  // Hyperperiod = 20ms.
+  AppSpec app;
+  app.swcs.push_back(
+      {"SWC1",
+       {{"R1", 10 * tick, make_touch_workload(0x0100'0000, 0x0200'0000, 24, 40)}}});
+  app.swcs.push_back(
+      {"SWC2",
+       {{"R2", 10 * tick, make_touch_workload(0x0110'0000, 0x0210'0000, 32, 60)},
+        {"R3", 20 * tick, make_touch_workload(0x0120'0000, 0x0220'0000, 16, 30)}}});
+  app.swcs.push_back(
+      {"SWC3",
+       {{"R4", 20 * tick, make_touch_workload(0x0130'0000, 0x0230'0000, 20, 50)},
+        {"R5", 20 * tick, make_touch_workload(0x0140'0000, 0x0240'0000, 12, 20)}}});
+  return app;
+}
+
+}  // namespace tsc::os

@@ -1,0 +1,134 @@
+// AUTOSAR-style application model and seed-managing cyclic executive
+// (paper Figure 3 and section 5, "Implementing per-process unique seeds").
+//
+// Applications are divided into software components (SWC); each SWC is a set
+// of runnables (the atomic unit of execution) with associated periods.
+// Runnables of one SWC may communicate through shared memory and therefore
+// must share a placement seed; runnables of different SWCs may come from
+// different providers and must NOT share a seed, or one could mount
+// contention attacks on the other.  On a context switch between runnables of
+// different SWCs the OS saves/restores seed registers and drains the
+// pipeline; once per hyperperiod it draws fresh seeds for every SWC and
+// flushes the caches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/machine.h"
+
+namespace tsc::os {
+
+/// What a runnable does when it executes: drive the machine.
+using Workload = std::function<void(sim::Machine&)>;
+
+/// One runnable: name, activation period (abstract time units = cycles
+/// of the release timeline) and its workload.
+struct RunnableSpec {
+  std::string name;
+  Cycles period = 0;
+  Workload work;
+};
+
+/// One software component: a seed domain containing runnables.
+struct SwcSpec {
+  std::string name;
+  std::vector<RunnableSpec> runnables;
+};
+
+/// A complete application.
+struct AppSpec {
+  std::vector<SwcSpec> swcs;
+};
+
+/// How the OS assigns placement seeds (the paper's design space).
+enum class SeedPolicy {
+  kNone,               ///< deterministic caches: seeds unused
+  kGlobalShared,       ///< one seed for everything, set once (MBPTA minimum)
+  kPerSwc,             ///< unique per SWC, fixed forever
+  kPerSwcHyperperiod,  ///< unique per SWC, renewed + flush each hyperperiod
+                       ///< (the TSCache policy, Fig. 3)
+};
+
+[[nodiscard]] std::string to_string(SeedPolicy policy);
+
+/// One executed job in the trace.
+struct JobRecord {
+  std::string runnable;
+  std::string swc;
+  std::uint64_t hyperperiod_index = 0;
+  Cycles release = 0;      ///< nominal release within the timeline
+  Cycles start = 0;        ///< machine time when the job started
+  Cycles duration = 0;     ///< machine cycles consumed by the workload
+};
+
+/// Aggregate schedule/seed-management accounting.
+struct Trace {
+  std::vector<JobRecord> jobs;
+  std::uint64_t context_switches = 0;  ///< SWC-to-SWC transitions
+  std::uint64_t seed_changes = 0;      ///< seed register writes (with cost)
+  std::uint64_t flushes = 0;           ///< whole-hierarchy flushes
+};
+
+/// Static cyclic executive over the application's hyperperiod.
+///
+/// Jobs are released at every multiple of their runnable's period and
+/// executed in (release time, declaration order) sequence - declaration
+/// order encodes the data dependencies of Fig. 3 (R1 before R2, etc.).
+class CyclicExecutive {
+ public:
+  /// `master_seed` drives all seed draws; every run replays exactly.
+  CyclicExecutive(sim::Machine& machine, AppSpec app, SeedPolicy policy,
+                  std::uint64_t master_seed);
+
+  /// Execute `count` whole hyperperiods.
+  void run(std::uint64_t count);
+
+  /// Length of the hyperperiod (LCM of all runnable periods).
+  [[nodiscard]] Cycles hyperperiod() const { return hyperperiod_; }
+
+  /// The ProcId (seed domain) a SWC was assigned.
+  [[nodiscard]] ProcId proc_of(const std::string& swc_name) const;
+
+  /// Current placement seed of a SWC's domain in the L1D (diagnostics).
+  [[nodiscard]] Seed seed_of(const std::string& swc_name);
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] const AppSpec& app() const { return app_; }
+
+ private:
+  struct JobSlot {
+    Cycles release;
+    std::size_t swc_index;
+    std::size_t runnable_index;
+  };
+
+  void install_seeds(std::uint64_t hyperperiod_index, bool charge_cost);
+  [[nodiscard]] Seed draw_seed(std::size_t swc_index,
+                               std::uint64_t hyperperiod_index) const;
+
+  sim::Machine& machine_;
+  AppSpec app_;
+  SeedPolicy policy_;
+  std::uint64_t master_seed_;
+  Cycles hyperperiod_ = 0;
+  std::vector<JobSlot> schedule_;  // one hyperperiod, sorted
+  std::uint64_t next_hyperperiod_ = 0;
+  Trace trace_;
+};
+
+/// Canned workload: touch `lines` cache lines starting at `base` and execute
+/// `instrs` instructions at `code` (for examples and tests).
+[[nodiscard]] Workload make_touch_workload(Addr code, Addr base,
+                                           unsigned lines, unsigned instrs);
+
+/// The example application of paper Figure 3: SWC1 {R1 (10ms)},
+/// SWC2 {R2 (10ms), R3 (20ms)}, SWC3 {R4 (20ms), R5 (20ms)} - hyperperiod
+/// 20ms.  Periods are scaled by `tick` machine cycles per millisecond.
+[[nodiscard]] AppSpec figure3_app(Cycles tick = 1000);
+
+}  // namespace tsc::os

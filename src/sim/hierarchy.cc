@@ -1,0 +1,71 @@
+#include "sim/hierarchy.h"
+
+#include <utility>
+
+#include "rng/rng.h"
+
+namespace tsc::sim {
+
+Hierarchy::Hierarchy(HierarchyConfig config, std::shared_ptr<rng::Rng> rng)
+    : config_(std::move(config)) {
+  l1i_ = cache::build_cache(config_.l1i, rng);
+  l1d_ = cache::build_cache(config_.l1d, rng);
+  if (config_.l2.has_value()) {
+    l2_ = cache::build_cache(*config_.l2, rng);
+  }
+}
+
+HierarchyResult Hierarchy::access(Port port, ProcId proc, Addr addr,
+                                  bool write) {
+  const LatencyConfig& lat = config_.latency;
+  HierarchyResult result;
+  cache::Cache& l1 = port == Port::kInstruction ? *l1i_ : *l1d_;
+
+  const cache::AccessResult r1 = l1.access(proc, addr, write);
+  result.latency = lat.l1_hit;
+  result.l1_hit = r1.hit;
+  if (r1.hit) return result;
+
+  if (l2_ != nullptr) {
+    const cache::AccessResult r2 = l2_->access(proc, addr, write);
+    result.latency += lat.l2_hit;
+    result.l2_hit = r2.hit;
+    if (r2.hit) return result;
+  }
+  result.latency += lat.memory;
+  return result;
+}
+
+void Hierarchy::set_seed(ProcId proc, Seed master) {
+  // Independent per-level seeds from one master: a correlation between L1
+  // and L2 layouts would weaken both the i.i.d. argument and the security
+  // argument, and hardware would use distinct seed registers anyway.
+  l1i_->set_seed(proc, Seed{rng::derive_seed(master.value, 0x11)});
+  l1d_->set_seed(proc, Seed{rng::derive_seed(master.value, 0x1D)});
+  if (l2_ != nullptr) {
+    l2_->set_seed(proc, Seed{rng::derive_seed(master.value, 0x12)});
+  }
+}
+
+std::uint64_t Hierarchy::flush_all() {
+  std::uint64_t lines = l1i_->flush() + l1d_->flush();
+  if (l2_ != nullptr) lines += l2_->flush();
+  return lines;
+}
+
+std::string Hierarchy::describe() const {
+  std::string out = "L1I[" + config_.l1i.describe() + "] L1D[" +
+                    config_.l1d.describe() + "]";
+  if (config_.l2.has_value()) {
+    out += " L2[" + config_.l2->describe() + "]";
+  }
+  return out;
+}
+
+void Hierarchy::reset_stats() {
+  l1i_->reset_stats();
+  l1d_->reset_stats();
+  if (l2_ != nullptr) l2_->reset_stats();
+}
+
+}  // namespace tsc::sim

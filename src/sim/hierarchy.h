@@ -1,0 +1,76 @@
+// Two-level memory hierarchy: split L1 (instruction + data) over a unified
+// L2 over flat memory, matching the paper's platform (section 6.1.2):
+// "16KB, 128 sets, 4-way first level instruction and data caches; and a
+// 256KB, 2048 sets, 4-way L2 cache".
+//
+// For the MBPTACache and TSCache setups the L1s implement Random Modulo and
+// the shared L2 implements hashRP, exactly as in the paper.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cache/builder.h"
+#include "common/types.h"
+#include "sim/latency.h"
+
+namespace tsc::sim {
+
+/// Which L1 a request enters through.
+enum class Port { kInstruction, kData };
+
+/// Outcome of a hierarchy access: the total latency and where it was served.
+struct HierarchyResult {
+  Cycles latency = 0;
+  bool l1_hit = false;
+  bool l2_hit = false;  ///< only meaningful when !l1_hit and an L2 exists
+};
+
+/// Configuration: cache specs per level.  `l2` may be disabled for
+/// single-level experiments.
+struct HierarchyConfig {
+  cache::CacheSpec l1i;
+  cache::CacheSpec l1d;
+  std::optional<cache::CacheSpec> l2;
+  LatencyConfig latency;
+};
+
+/// The hierarchy.  Owns the three cache models and derives per-cache seeds
+/// from one per-process master seed, so the OS layer manages a single seed
+/// per software component as in the paper's Fig. 3.
+class Hierarchy {
+ public:
+  Hierarchy(HierarchyConfig config, std::shared_ptr<rng::Rng> rng);
+
+  /// One memory access through the hierarchy.
+  HierarchyResult access(Port port, ProcId proc, Addr addr, bool write);
+
+  /// Install a process's master seed; each cache level receives an
+  /// independently derived seed.  Returns nothing; timing cost is accounted
+  /// by the Machine.
+  void set_seed(ProcId proc, Seed master);
+
+  /// Flush all levels; returns the number of valid lines invalidated
+  /// (drives the flush timing cost).
+  std::uint64_t flush_all();
+
+  [[nodiscard]] cache::Cache& l1i() { return *l1i_; }
+  [[nodiscard]] cache::Cache& l1d() { return *l1d_; }
+  [[nodiscard]] bool has_l2() const { return l2_ != nullptr; }
+  [[nodiscard]] cache::Cache& l2() { return *l2_; }
+  [[nodiscard]] const LatencyConfig& latency() const {
+    return config_.latency;
+  }
+  [[nodiscard]] std::string describe() const;
+
+  void reset_stats();
+
+ private:
+  HierarchyConfig config_;
+  std::unique_ptr<cache::Cache> l1i_;
+  std::unique_ptr<cache::Cache> l1d_;
+  std::unique_ptr<cache::Cache> l2_;  // may be null
+};
+
+}  // namespace tsc::sim

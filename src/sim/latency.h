@@ -1,0 +1,31 @@
+// Latency parameters of the simulated platform.
+//
+// The paper's evaluation platform is an ARM920T-class single-core automotive
+// microcontroller with a 5-stage pipeline (section 6.1.2).  Absolute cycle
+// counts are not compared against the paper (its testbed is SocLib RTL-level
+// detail); what matters is the latency *ordering* hit < L2 < memory that all
+// cache timing attacks and all pWCET variability derive from.
+#pragma once
+
+#include "common/types.h"
+
+namespace tsc::sim {
+
+/// Cycle costs of the memory system and pipeline events.
+struct LatencyConfig {
+  Cycles l1_hit = 1;    ///< total latency of an L1 hit (absorbed by pipeline)
+  Cycles l2_hit = 8;    ///< additional cycles when an L1 miss hits L2
+  Cycles memory = 60;   ///< additional cycles when the access goes to memory
+  Cycles branch_penalty = 2;   ///< taken-branch bubble (resolve in EX)
+  unsigned pipeline_depth = 5; ///< stages; drain cost = depth - 1
+  Cycles seed_update = 2;      ///< writing a placement-seed register
+  Cycles flush_per_line = 1;   ///< invalidating one valid line during flush
+
+  /// Paper section 6.2.3: restoring a seed "would only require to wait until
+  /// all accesses in flight of the previous process have been served, which
+  /// would take tens of cycles" - with these defaults a seed change costs
+  /// (depth-1) + seed_update per cache, i.e. ~10 cycles for 3 caches.
+  [[nodiscard]] Cycles drain_cost() const { return pipeline_depth - 1; }
+};
+
+}  // namespace tsc::sim

@@ -1,0 +1,86 @@
+#include "sim/machine.h"
+
+#include <utility>
+
+namespace tsc::sim {
+
+Machine::Machine(HierarchyConfig config, std::shared_ptr<rng::Rng> rng)
+    : hierarchy_(std::move(config), std::move(rng)) {}
+
+void Machine::instr(Addr pc) {
+  ++stats_.instructions;
+  const HierarchyResult f =
+      hierarchy_.access(Port::kInstruction, proc_, pc, false);
+  // 1 issue cycle; fetch latency beyond an L1 hit stalls the front-end.
+  now_ += 1 + (f.latency - latency().l1_hit);
+}
+
+void Machine::instr_block(Addr pc, unsigned n) {
+  for (unsigned i = 0; i < n; ++i) instr(pc + 4 * i);
+}
+
+void Machine::load(Addr pc, Addr ea) {
+  instr(pc);
+  ++stats_.loads;
+  const HierarchyResult d = hierarchy_.access(Port::kData, proc_, ea, false);
+  now_ += d.latency - latency().l1_hit;
+}
+
+void Machine::store(Addr pc, Addr ea) {
+  instr(pc);
+  ++stats_.stores;
+  const HierarchyResult d = hierarchy_.access(Port::kData, proc_, ea, true);
+  now_ += d.latency - latency().l1_hit;
+}
+
+void Machine::branch(Addr pc, bool taken) {
+  instr(pc);
+  ++stats_.branches;
+  if (taken) {
+    ++stats_.taken_branches;
+    now_ += latency().branch_penalty;
+  }
+}
+
+void Machine::drain() {
+  ++stats_.drains;
+  now_ += latency().drain_cost();
+}
+
+void Machine::set_seed(ProcId proc, Seed master) {
+  ++stats_.seed_changes;
+  drain();
+  hierarchy_.set_seed(proc, master);
+  // One register write per cache level.
+  const Cycles levels = hierarchy_.has_l2() ? 3 : 2;
+  now_ += levels * latency().seed_update;
+}
+
+void Machine::flush_caches() {
+  ++stats_.flushes;
+  const std::uint64_t lines = hierarchy_.flush_all();
+  now_ += lines * latency().flush_per_line;
+}
+
+void Machine::reset_stats() {
+  stats_ = MachineStats{};
+  hierarchy_.reset_stats();
+}
+
+HierarchyConfig arm920t_config(cache::MapperKind l1_mapper,
+                               cache::MapperKind l2_mapper,
+                               cache::ReplacementKind repl) {
+  HierarchyConfig config;
+  config.l1i.config.geometry = cache::l1_geometry_arm920t();
+  config.l1i.mapper = l1_mapper;
+  config.l1i.replacement = repl;
+  config.l1d = config.l1i;
+  cache::CacheSpec l2;
+  l2.config.geometry = cache::l2_geometry_arm920t();
+  l2.mapper = l2_mapper;
+  l2.replacement = repl;
+  config.l2 = l2;
+  return config;
+}
+
+}  // namespace tsc::sim

@@ -1,0 +1,99 @@
+// Execution-driven machine model: a 5-stage in-order core in front of the
+// cache hierarchy.
+//
+// Workloads drive the machine through an instruction-level interface
+// (instr/load/store/branch); the machine accounts cycles with a simple
+// in-order pipeline model:
+//
+//   * one cycle per instruction (CPI 1 when everything hits),
+//   * instruction-fetch latency beyond an L1I hit stalls the front-end,
+//   * data latency beyond an L1D hit stalls the memory stage,
+//   * taken branches pay a fixed resolve bubble,
+//   * seed changes drain the pipeline (paper section 5: "empty the pipeline
+//     and restore the seed of the incoming SWC"),
+//   * cache flushes cost per invalidated line.
+//
+// Fetch is modeled per instruction against the real PC, so instruction-cache
+// conflicts (the target of Aciiçmez-style attacks) are simulated, not
+// approximated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "sim/hierarchy.h"
+
+namespace tsc::sim {
+
+/// Per-machine event counters.
+struct MachineStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t seed_changes = 0;
+  std::uint64_t flushes = 0;
+};
+
+/// The machine.  Single core, single outstanding access - deliberately the
+/// simple automotive profile the paper targets.
+class Machine {
+ public:
+  Machine(HierarchyConfig config, std::shared_ptr<rng::Rng> rng);
+
+  /// Select the software context for subsequent accesses (cache-line
+  /// ownership + placement seed selection).  Timing cost of the context
+  /// switch itself is modeled by the OS layer via drain().
+  void set_process(ProcId proc) { proc_ = proc; }
+  [[nodiscard]] ProcId process() const { return proc_; }
+
+  /// Non-memory instruction at `pc`.
+  void instr(Addr pc);
+  /// `n` sequential non-memory instructions starting at `pc`, 4 bytes each.
+  void instr_block(Addr pc, unsigned n);
+  /// Load instruction at `pc` reading `ea`.
+  void load(Addr pc, Addr ea);
+  /// Store instruction at `pc` writing `ea`.
+  void store(Addr pc, Addr ea);
+  /// Branch instruction at `pc`; taken branches pay the resolve bubble.
+  void branch(Addr pc, bool taken);
+
+  /// Pipeline drain (seed change / context switch / barrier).
+  void drain();
+
+  /// Install a new master seed for `proc` in all cache levels.  Models the
+  /// hardware cost: drain + seed register updates.
+  void set_seed(ProcId proc, Seed master);
+
+  /// Flush all caches, paying the per-line invalidation cost.
+  void flush_caches();
+
+  /// Advance time without executing (idle / external delay).
+  void advance(Cycles cycles) { now_ += cycles; }
+
+  [[nodiscard]] Cycles now() const { return now_; }
+  [[nodiscard]] const MachineStats& stats() const { return stats_; }
+  [[nodiscard]] Hierarchy& hierarchy() { return hierarchy_; }
+  [[nodiscard]] const LatencyConfig& latency() const {
+    return hierarchy_.latency();
+  }
+
+  void reset_stats();
+
+ private:
+  Hierarchy hierarchy_;
+  ProcId proc_{1};
+  Cycles now_ = 0;
+  MachineStats stats_;
+};
+
+/// The paper's platform (section 6.1.2) parameterized by cache design:
+/// builds the HierarchyConfig for 16KB/128x4 L1s + 256KB/2048x4 L2.
+[[nodiscard]] HierarchyConfig arm920t_config(cache::MapperKind l1_mapper,
+                                             cache::MapperKind l2_mapper,
+                                             cache::ReplacementKind repl);
+
+}  // namespace tsc::sim

@@ -1,0 +1,117 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rng/rng.h"
+
+namespace tsc::sim {
+
+Trace make_sequential(Addr base, std::size_t length,
+                      std::uint32_t line_bytes) {
+  Trace t;
+  t.name = "sequential";
+  t.addresses.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    t.addresses.push_back(base + i * line_bytes);
+  }
+  return t;
+}
+
+Trace make_strided(Addr base, std::size_t length, std::uint32_t stride_bytes,
+                   std::uint32_t window_bytes) {
+  assert(stride_bytes > 0 && window_bytes > 0);
+  Trace t;
+  t.name = "strided-" + std::to_string(stride_bytes);
+  t.addresses.reserve(length);
+  Addr offset = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    t.addresses.push_back(base + offset);
+    offset = (offset + stride_bytes) % window_bytes;
+  }
+  return t;
+}
+
+Trace make_uniform(Addr base, std::size_t length, std::uint32_t window_bytes,
+                   std::uint64_t seed, std::uint32_t line_bytes) {
+  assert(window_bytes >= line_bytes);
+  Trace t;
+  t.name = "uniform";
+  t.addresses.reserve(length);
+  rng::XorShift64Star g(seed);
+  const std::uint64_t lines = window_bytes / line_bytes;
+  for (std::size_t i = 0; i < length; ++i) {
+    t.addresses.push_back(base + g.next_below(lines) * line_bytes);
+  }
+  return t;
+}
+
+Trace make_zipf(Addr base, std::size_t length, std::uint32_t lines,
+                double alpha, std::uint64_t seed, std::uint32_t line_bytes) {
+  assert(lines > 0);
+  Trace t;
+  t.name = "zipf-" + std::to_string(alpha);
+  t.addresses.reserve(length);
+
+  // Inverse-CDF sampling over the precomputed Zipf cumulative weights.
+  std::vector<double> cdf(lines);
+  double total = 0;
+  for (std::uint32_t r = 0; r < lines; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf[r] = total;
+  }
+  rng::XorShift64Star g(seed);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double u = g.next_double() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto rank = static_cast<std::uint32_t>(it - cdf.begin());
+    t.addresses.push_back(base + static_cast<Addr>(rank) * line_bytes);
+  }
+  return t;
+}
+
+Trace make_pointer_chase(Addr base, std::size_t length, std::uint32_t lines,
+                         std::uint64_t seed, std::uint32_t line_bytes) {
+  assert(lines > 0);
+  Trace t;
+  t.name = "pointer-chase";
+  t.addresses.reserve(length);
+
+  // A single-cycle permutation (Sattolo's algorithm) so the chase visits
+  // every line before repeating.
+  std::vector<std::uint32_t> next(lines);
+  for (std::uint32_t i = 0; i < lines; ++i) next[i] = i;
+  rng::XorShift64Star g(seed);
+  for (std::uint32_t i = lines - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(g.next_below(i));
+    std::swap(next[i], next[j]);
+  }
+
+  std::uint32_t cursor = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    t.addresses.push_back(base + static_cast<Addr>(cursor) * line_bytes);
+    cursor = next[cursor];
+  }
+  return t;
+}
+
+TraceResult run_trace(Machine& machine, ProcId proc, const Trace& trace,
+                      Addr code_base) {
+  machine.hierarchy().reset_stats();
+  machine.set_process(proc);
+  const Cycles start = machine.now();
+  for (const Addr a : trace.addresses) {
+    machine.load(code_base, a);
+  }
+  TraceResult result;
+  result.cycles = machine.now() - start;
+  result.accesses = trace.addresses.size();
+  result.l1d_miss_rate = machine.hierarchy().l1d().stats().miss_rate();
+  if (machine.hierarchy().has_l2()) {
+    result.l2_miss_rate = machine.hierarchy().l2().stats().miss_rate();
+  }
+  return result;
+}
+
+}  // namespace tsc::sim

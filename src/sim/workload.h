@@ -1,0 +1,78 @@
+// Synthetic memory-access workload generators.
+//
+// The overheads analysis (paper section 6.2.3) and any downstream cache
+// study need controllable access patterns beyond the TSISA kernels.  Each
+// generator produces a deterministic stream of data addresses from a seed;
+// `run_trace` replays a stream through a Machine and reports the resulting
+// cache behaviour.
+//
+// Patterns:
+//   sequential   - streaming walk (compulsory-miss bound)
+//   strided      - fixed byte stride over a window (conflict probe)
+//   uniform      - uniform random lines in a window (capacity probe)
+//   zipf         - hot/cold skew with Zipf(alpha) popularity, the standard
+//                  model for real data reuse
+//   pointer_chase- a random permutation cycle (dependent loads, worst case
+//                  for any prefetch-like locality)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/machine.h"
+
+namespace tsc::sim {
+
+/// A reusable, deterministic sequence of data addresses.
+struct Trace {
+  std::string name;
+  std::vector<Addr> addresses;
+};
+
+/// `length` sequential line-sized touches from `base`.
+[[nodiscard]] Trace make_sequential(Addr base, std::size_t length,
+                                    std::uint32_t line_bytes = 32);
+
+/// `length` touches with the given byte stride, wrapping at `window_bytes`.
+[[nodiscard]] Trace make_strided(Addr base, std::size_t length,
+                                 std::uint32_t stride_bytes,
+                                 std::uint32_t window_bytes);
+
+/// `length` uniform random line touches within `window_bytes`.
+[[nodiscard]] Trace make_uniform(Addr base, std::size_t length,
+                                 std::uint32_t window_bytes,
+                                 std::uint64_t seed,
+                                 std::uint32_t line_bytes = 32);
+
+/// `length` Zipf(alpha)-distributed touches over `lines` distinct lines
+/// (rank 1 = hottest).  alpha around 0.8-1.2 models typical data reuse.
+[[nodiscard]] Trace make_zipf(Addr base, std::size_t length,
+                              std::uint32_t lines, double alpha,
+                              std::uint64_t seed,
+                              std::uint32_t line_bytes = 32);
+
+/// A pointer-chase: one full cycle over a random permutation of `lines`
+/// lines, repeated until `length` accesses are emitted.
+[[nodiscard]] Trace make_pointer_chase(Addr base, std::size_t length,
+                                       std::uint32_t lines,
+                                       std::uint64_t seed,
+                                       std::uint32_t line_bytes = 32);
+
+/// Replay outcome.
+struct TraceResult {
+  Cycles cycles = 0;
+  std::uint64_t accesses = 0;
+  double l1d_miss_rate = 0;
+  double l2_miss_rate = 0;  ///< 0 when no L2 configured
+};
+
+/// Replay a trace as loads of process `proc` (one fetch per access from a
+/// fixed code line, so the D-side dominates).  Resets hierarchy statistics
+/// first; the machine keeps its cache contents (call flush_caches() first
+/// for a cold replay).
+TraceResult run_trace(Machine& machine, ProcId proc, const Trace& trace,
+                      Addr code_base = 0x0F00'0000);
+
+}  // namespace tsc::sim

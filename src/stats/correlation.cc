@@ -1,0 +1,65 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace tsc::stats {
+namespace {
+
+// Average-rank transform (ties share the mean of their rank range).
+std::vector<double> ranks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> out(xs.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = avg;
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0;
+  double sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double num = 0;
+  double dx = 0;
+  double dy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double a = xs[i] - mx;
+    const double b = ys[i] - my;
+    num += a * b;
+    dx += a * a;
+    dy += b * b;
+  }
+  if (dx == 0.0 || dy == 0.0) return 0.0;
+  return num / std::sqrt(dx * dy);
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  const std::vector<double> rx = ranks(xs);
+  const std::vector<double> ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+}  // namespace tsc::stats

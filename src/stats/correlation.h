@@ -1,0 +1,22 @@
+// Correlation measures used by the Bernstein attack analysis (paper 6.1.1:
+// "we perform a statistical correlation on the timing profiles of attacker
+// and victim to find the secret victim's key").
+#pragma once
+
+#include <span>
+
+namespace tsc::stats {
+
+/// Pearson product-moment correlation of two equally sized samples.
+/// Returns 0 when either sample is constant (no information either way).
+/// Precondition: xs.size() == ys.size() and size >= 2.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson on ranks, average ranks for ties).
+/// More robust to the heavy-tailed timing outliers cache misses cause.
+/// Precondition: xs.size() == ys.size() and size >= 2.
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+}  // namespace tsc::stats

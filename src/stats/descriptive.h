@@ -1,0 +1,62 @@
+// Descriptive statistics over execution-time samples.
+//
+// All functions take std::span<const double> (callers convert cycle counts
+// once) and are pure.  Quantile uses the inclusive linear-interpolation
+// definition (type 7, the R/NumPy default).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsc::stats {
+
+/// Arithmetic mean.  Precondition: !xs.empty().
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (divides by n-1).  Precondition: xs.size() >= 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation.  Precondition: xs.size() >= 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Smallest element.  Precondition: !xs.empty().
+[[nodiscard]] double min(std::span<const double> xs);
+
+/// Largest element.  Precondition: !xs.empty().
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1].  Precondition: !xs.empty().
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Sample autocorrelation at the given lag (0 < lag < n), using the
+/// standard biased estimator r_k = c_k / c_0 as consumed by Ljung-Box.
+[[nodiscard]] double autocorrelation(std::span<const double> xs,
+                                     std::size_t lag);
+
+/// Full five-number-style summary for experiment reports.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Compute a Summary.  Precondition: xs.size() >= 2.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Convert any integral sample vector to doubles (one allocation).
+template <typename T>
+[[nodiscard]] std::vector<double> to_doubles(std::span<const T> xs) {
+  return std::vector<double>(xs.begin(), xs.end());
+}
+
+}  // namespace tsc::stats

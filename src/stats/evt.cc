@@ -1,0 +1,200 @@
+#include "stats/evt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.h"
+
+namespace tsc::stats {
+namespace {
+
+constexpr double kEulerGamma = 0.57721566490153286;
+
+// Per-run exceedance probability given the exceedance of a block maximum over
+// `block` runs: p_run = 1 - (1 - p_block)^(1/block), computed stably.
+double block_to_run_exceedance(double p_block, std::size_t block) {
+  if (p_block <= 0) return 0;
+  if (p_block >= 1) return 1;
+  return -std::expm1(std::log1p(-p_block) / static_cast<double>(block));
+}
+
+// Inverse of the above: p_block = 1 - (1 - p_run)^block.
+double run_to_block_exceedance(double p_run, std::size_t block) {
+  if (p_run <= 0) return 0;
+  if (p_run >= 1) return 1;
+  return -std::expm1(static_cast<double>(block) * std::log1p(-p_run));
+}
+
+}  // namespace
+
+double GumbelFit::exceedance(double x) const {
+  const double z = (x - mu) / beta;
+  // 1 - exp(-exp(-z)); use expm1 so tiny tail probabilities keep precision.
+  return -std::expm1(-std::exp(-z));
+}
+
+double GumbelFit::quantile_exceedance(double p) const {
+  assert(p > 0 && p < 1);
+  // Solve 1 - exp(-exp(-z)) = p  =>  z = -log(-log1p(-p)).
+  return mu - beta * std::log(-std::log1p(-p));
+}
+
+GumbelFit fit_gumbel(std::span<const double> xs) {
+  assert(xs.size() >= 2);
+  const double s = stddev(xs);
+  assert(s > 0 && "Gumbel fit needs a non-constant sample");
+  GumbelFit f;
+  f.beta = s * std::sqrt(6.0) / std::numbers::pi;
+  f.mu = mean(xs) - kEulerGamma * f.beta;
+  return f;
+}
+
+std::vector<double> block_maxima(std::span<const double> xs,
+                                 std::size_t block) {
+  assert(block >= 1);
+  std::vector<double> out;
+  out.reserve(xs.size() / block);
+  for (std::size_t i = 0; i + block <= xs.size(); i += block) {
+    double m = xs[i];
+    for (std::size_t j = 1; j < block; ++j) m = std::max(m, xs[i + j]);
+    out.push_back(m);
+  }
+  return out;
+}
+
+double GpdFit::exceedance(double x) const {
+  if (x <= threshold) return zeta;
+  const double y = x - threshold;
+  if (std::fabs(shape) < 1e-9) return zeta * std::exp(-y / scale);
+  const double base = 1.0 + shape * y / scale;
+  if (base <= 0.0) return 0.0;  // beyond the bounded-tail endpoint
+  return zeta * std::pow(base, -1.0 / shape);
+}
+
+double GpdFit::quantile_exceedance(double p) const {
+  assert(p > 0);
+  if (p >= zeta) return threshold;
+  const double ratio = p / zeta;
+  if (std::fabs(shape) < 1e-9) return threshold - scale * std::log(ratio);
+  return threshold + (scale / shape) * (std::pow(ratio, -shape) - 1.0);
+}
+
+GpdFit fit_gpd_pot(std::span<const double> xs, double threshold_quantile) {
+  assert(xs.size() >= 20);
+  assert(threshold_quantile > 0 && threshold_quantile < 1);
+  const double u = quantile(xs, threshold_quantile);
+
+  std::vector<double> exc;
+  for (const double x : xs) {
+    if (x > u) exc.push_back(x - u);
+  }
+  GpdFit f;
+  f.threshold = u;
+  f.zeta = static_cast<double>(exc.size()) / static_cast<double>(xs.size());
+  if (exc.size() < 10) {
+    // Degenerate tail (nearly constant sample): model it as a point mass with
+    // a tiny exponential tail so queries stay well defined.
+    f.shape = 0;
+    f.scale = 1e-9;
+    return f;
+  }
+
+  // MBPTA-CV gate: for an exponential tail the coefficient of variation of
+  // the excesses is 1.  Within the asymptotic confidence band around 1 we
+  // commit to the exponential model, the standard conservative choice for
+  // timing tails (Abella et al., MBPTA-CV).
+  const double exc_mean = mean(exc);
+  const double exc_cv = exc_mean > 0 ? stddev(exc) / exc_mean : 0.0;
+  const double band = 2.0 / std::sqrt(static_cast<double>(exc.size()));
+  if (std::fabs(exc_cv - 1.0) <= band) {
+    f.shape = 0;
+    f.scale = exc_mean;
+    return f;
+  }
+
+  // Probability-weighted moments (Hosking & Wallis 1987).
+  std::sort(exc.begin(), exc.end());
+  const auto n = static_cast<double>(exc.size());
+  double a0 = 0;
+  double a1 = 0;
+  for (std::size_t i = 0; i < exc.size(); ++i) {
+    a0 += exc[i];
+    // weight (n - 1 - i)/(n - 1): estimates E[Y * (1 - F(Y))].
+    a1 += exc[i] * (n - 1.0 - static_cast<double>(i)) / (n - 1.0);
+  }
+  a0 /= n;
+  a1 /= n;
+
+  const double denom = a0 - 2.0 * a1;
+  if (std::fabs(denom) < 1e-12 * a0) {
+    f.shape = 0;
+    f.scale = a0;  // exponential-limit fallback
+    return f;
+  }
+  f.shape = 2.0 - a0 / denom;
+  f.scale = 2.0 * a0 * a1 / denom;
+  // Clamp to the physically meaningful range for execution times; the upper
+  // bound guards against small-sample lumpiness projecting absurd tails.
+  f.shape = std::clamp(f.shape, -0.5, 0.25);
+  if (f.scale <= 0) f.scale = a0;
+  return f;
+}
+
+PwcetModel::PwcetModel(std::span<const double> xs, TailModel model,
+                       std::size_t block)
+    : model_(model), block_(block), sorted_(xs.begin(), xs.end()) {
+  assert(xs.size() >= 100);
+  std::sort(sorted_.begin(), sorted_.end());
+  if (model_ == TailModel::kGumbelBlockMaxima) {
+    const std::vector<double> maxima = block_maxima(xs, block_);
+    gumbel_ = fit_gumbel(maxima);
+  } else {
+    gpd_ = fit_gpd_pot(xs);
+  }
+}
+
+double PwcetModel::exceedance(double bound) const {
+  // Empirical survivor function.
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), bound);
+  const double emp = static_cast<double>(sorted_.end() - it) /
+                     static_cast<double>(sorted_.size());
+  double tail = 0;
+  if (model_ == TailModel::kGumbelBlockMaxima) {
+    tail = block_to_run_exceedance(gumbel_.exceedance(bound), block_);
+  } else {
+    // Below the POT threshold the GPD says nothing; the empirical term
+    // covers that region.
+    tail = bound >= gpd_.threshold ? gpd_.exceedance(bound) : 0.0;
+  }
+  // Both terms are non-increasing in `bound`; taking the max keeps the curve
+  // monotone and conservative (an upper bound on the exceedance probability),
+  // which is the safe direction for a WCET argument.
+  return std::min(1.0, std::max(emp, tail));
+}
+
+double PwcetModel::pwcet(double exceedance_prob) const {
+  assert(exceedance_prob > 0 && exceedance_prob < 1);
+  double tail_bound = 0;
+  if (model_ == TailModel::kGumbelBlockMaxima) {
+    const double pb = run_to_block_exceedance(exceedance_prob, block_);
+    tail_bound = gumbel_.quantile_exceedance(pb);
+  } else {
+    tail_bound = gpd_.quantile_exceedance(exceedance_prob);
+  }
+  // Consistency with exceedance(): never report a bound below what the raw
+  // sample already contradicts.
+  const double emp_bound = quantile(sorted_, 1.0 - exceedance_prob);
+  return std::max(tail_bound, emp_bound);
+}
+
+std::vector<PwcetPoint> PwcetModel::curve(double min_prob) const {
+  std::vector<PwcetPoint> pts;
+  for (double p = 1e-1; p >= min_prob * 0.999; p /= 10.0) {
+    pts.push_back({pwcet(p), p});
+  }
+  return pts;
+}
+
+}  // namespace tsc::stats

@@ -1,0 +1,109 @@
+// Extreme Value Theory machinery for MBPTA (paper section 2.1, Fig. 1).
+//
+// MBPTA collects execution-time samples whose i.i.d.-ness has been validated
+// (tests.h) and projects the tail with EVT to obtain a pWCET distribution:
+// "the highest probability with which one run of a task exceeds a time
+// bound", e.g. P(t > 7ms) < 1e-10 per run.
+//
+// Two standard fits are provided:
+//  * Gumbel on block maxima      (the classic MBPTA recipe, ECRTS'12 [10])
+//  * Generalized Pareto on peaks-over-threshold, fitted with probability-
+//    weighted moments (Hosking & Wallis)
+//
+// PwcetModel combines a fit with the sampling rate so callers can ask both
+// directions: exceedance probability of a bound, and the bound for a target
+// exceedance probability.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsc::stats {
+
+/// Gumbel (type-I extreme value) distribution parameters.
+struct GumbelFit {
+  double mu = 0;    ///< location
+  double beta = 1;  ///< scale (> 0)
+
+  /// P(X > x) under the fitted Gumbel.
+  [[nodiscard]] double exceedance(double x) const;
+  /// Smallest x with P(X > x) <= p (the pWCET at exceedance probability p).
+  [[nodiscard]] double quantile_exceedance(double p) const;
+};
+
+/// Fit a Gumbel distribution by the method of moments.
+/// Precondition: xs.size() >= 2 and xs not constant.
+[[nodiscard]] GumbelFit fit_gumbel(std::span<const double> xs);
+
+/// Reduce a sample to per-block maxima (block-maxima EVT step).
+/// Trailing partial blocks are dropped.  Precondition: block >= 1.
+[[nodiscard]] std::vector<double> block_maxima(std::span<const double> xs,
+                                               std::size_t block);
+
+/// Generalized Pareto distribution parameters for excesses over a threshold.
+struct GpdFit {
+  double threshold = 0;  ///< u
+  double scale = 1;      ///< sigma (> 0)
+  double shape = 0;      ///< xi (xi < 0: bounded tail; 0: exponential)
+  double zeta = 0;       ///< P(X > u), the fraction of samples above u
+
+  /// P(X > x) for x >= threshold under the fitted tail model.
+  [[nodiscard]] double exceedance(double x) const;
+  /// pWCET at exceedance probability p (p < zeta).
+  [[nodiscard]] double quantile_exceedance(double p) const;
+};
+
+/// Fit a GPD to the excesses above the q-quantile of xs via probability-
+/// weighted moments, with the MBPTA-CV style exponentiality gate: when the
+/// coefficient of variation of the excesses is statistically compatible
+/// with 1, the tail is taken as exponential (shape 0) - execution-time
+/// samples are discrete and lumpy, and small-sample PWM shape estimates
+/// otherwise swing wildly positive, projecting absurd bounds.  Outside the
+/// band the PWM shape is used, clamped to [-0.5, 0.25].
+/// Precondition: enough points above the threshold (>= 10).
+[[nodiscard]] GpdFit fit_gpd_pot(std::span<const double> xs,
+                                 double threshold_quantile = 0.85);
+
+/// A point of the pWCET curve: execution-time bound plus its exceedance
+/// probability.
+struct PwcetPoint {
+  double bound = 0;
+  double exceedance_prob = 1;
+};
+
+/// Tail model selection for PwcetModel.
+enum class TailModel { kGumbelBlockMaxima, kGpdPot };
+
+/// End-to-end pWCET model over one sample of per-run execution times.
+class PwcetModel {
+ public:
+  /// Fit the requested tail model.  `block` is the block-maxima block size
+  /// (ignored for GPD).  Precondition: xs.size() >= 100.
+  PwcetModel(std::span<const double> xs, TailModel model,
+             std::size_t block = 20);
+
+  /// Per-run exceedance probability of the given bound.  Below the fitted
+  /// region this falls back to the empirical survivor function.
+  [[nodiscard]] double exceedance(double bound) const;
+
+  /// pWCET bound at the target per-run exceedance probability (e.g. 1e-10).
+  [[nodiscard]] double pwcet(double exceedance_prob) const;
+
+  /// Sampled curve for plotting: one point per decade of exceedance
+  /// probability from 1e-1 down to `min_prob`.
+  [[nodiscard]] std::vector<PwcetPoint> curve(double min_prob = 1e-15) const;
+
+  [[nodiscard]] TailModel model() const { return model_; }
+  [[nodiscard]] const GumbelFit& gumbel() const { return gumbel_; }
+  [[nodiscard]] const GpdFit& gpd() const { return gpd_; }
+
+ private:
+  TailModel model_;
+  GumbelFit gumbel_;
+  GpdFit gpd_;
+  std::size_t block_ = 1;       // runs per block-maximum
+  std::vector<double> sorted_;  // for the empirical region
+};
+
+}  // namespace tsc::stats

@@ -1,0 +1,51 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tsc::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins >= 1);
+  assert(lo < hi);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::string out;
+  char line[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double lo = lo_ + static_cast<double>(b) * width;
+    std::snprintf(line, sizeof line, "[%10.1f,%10.1f) %8zu ", lo, lo + width,
+                  counts_[b]);
+    out += line;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * max_width / peak;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tsc::stats

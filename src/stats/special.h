@@ -1,0 +1,32 @@
+// Special functions backing the statistical tests.
+//
+// Only what the paper's methodology needs: the regularized incomplete gamma
+// function (chi-square CDF for Ljung-Box and uniformity tests) and the
+// Kolmogorov distribution tail (two-sample KS test, paper section 6.2.2).
+#pragma once
+
+namespace tsc::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a),
+/// a > 0, x >= 0.  Series expansion for x < a+1, continued fraction otherwise
+/// (Numerical-Recipes-style; absolute error < 1e-12 in the tested range).
+[[nodiscard]] double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// CDF of the chi-square distribution with k degrees of freedom.
+[[nodiscard]] double chi2_cdf(double x, double k);
+
+/// Upper tail (p-value helper) of chi-square with k degrees of freedom.
+[[nodiscard]] double chi2_sf(double x, double k);
+
+/// Kolmogorov distribution complement Q_KS(lambda) =
+/// 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).  Used for the asymptotic
+/// p-value of the KS statistic.
+[[nodiscard]] double kolmogorov_q(double lambda);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double x);
+
+}  // namespace tsc::stats

@@ -1,0 +1,101 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/special.h"
+
+namespace tsc::stats {
+
+TestResult ljung_box(std::span<const double> xs, std::size_t max_lag) {
+  assert(xs.size() > max_lag + 1);
+  const auto n = static_cast<double>(xs.size());
+  double q = 0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    const double rk = autocorrelation(xs, k);
+    q += rk * rk / (n - static_cast<double>(k));
+  }
+  q *= n * (n + 2.0);
+  TestResult r;
+  r.test_name = "ljung-box";
+  r.statistic = q;
+  r.dof = max_lag;
+  r.p_value = chi2_sf(q, static_cast<double>(max_lag));
+  return r;
+}
+
+TestResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  assert(!a.empty() && !b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  double d = 0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  // March through the merged order, tracking the gap between empirical CDFs.
+  while (ia < sa.size() && ib < sb.size()) {
+    const double va = sa[ia];
+    const double vb = sb[ib];
+    if (va <= vb) {
+      do {
+        ++ia;
+      } while (ia < sa.size() && sa[ia] == va);
+    }
+    if (vb <= va) {
+      do {
+        ++ib;
+      } while (ib < sb.size() && sb[ib] == vb);
+    }
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+
+  TestResult r;
+  r.test_name = "ks-two-sample";
+  r.statistic = d;
+  r.p_value = kolmogorov_q(lambda);
+  return r;
+}
+
+TestResult chi2_uniform(std::span<const std::size_t> counts) {
+  assert(counts.size() >= 2);
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  assert(total > 0);
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  double stat = 0;
+  for (const std::size_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  TestResult r;
+  r.test_name = "chi2-uniform";
+  r.statistic = stat;
+  r.dof = counts.size() - 1;
+  r.p_value = chi2_sf(stat, static_cast<double>(r.dof));
+  return r;
+}
+
+IidVerdict iid_check(std::span<const double> xs, std::size_t lags) {
+  assert(xs.size() >= 50);
+  IidVerdict v;
+  v.independence = ljung_box(xs, lags);
+  const std::size_t half = xs.size() / 2;
+  v.identical = ks_two_sample(xs.subspan(0, half), xs.subspan(half));
+  return v;
+}
+
+}  // namespace tsc::stats

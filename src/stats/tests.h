@@ -1,0 +1,62 @@
+// The statistical hypothesis tests the paper's methodology relies on.
+//
+// Paper section 6.2.2: "We use the Ljung-Box independence test to test
+// autocorrelation for 20 different lags simultaneously [...].  We have also
+// applied the Kolmogorov-Smirnov two-sample i.d. test.  All our samples have
+// passed both tests for a alpha = 0.05 significance level."
+//
+// Each test returns a TestResult; `passed(alpha)` means the null hypothesis
+// (independence / identical distribution / uniformity) is NOT rejected.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace tsc::stats {
+
+/// Outcome of a hypothesis test.
+struct TestResult {
+  std::string test_name;
+  double statistic = 0;
+  double p_value = 1;
+  std::size_t dof = 0;  ///< degrees of freedom where applicable, else 0
+
+  /// True iff the null hypothesis survives at the given significance level.
+  [[nodiscard]] bool passed(double alpha = 0.05) const {
+    return p_value > alpha;
+  }
+};
+
+/// Ljung-Box portmanteau test of independence: Q = n(n+2) sum_k r_k^2/(n-k)
+/// over lags 1..max_lag; under H0 (independent series) Q ~ chi^2(max_lag).
+/// The paper uses max_lag = 20.  Precondition: xs.size() > max_lag + 1.
+[[nodiscard]] TestResult ljung_box(std::span<const double> xs,
+                                   std::size_t max_lag = 20);
+
+/// Two-sample Kolmogorov-Smirnov test of identical distribution using the
+/// asymptotic p-value.  Preconditions: both samples non-empty.
+[[nodiscard]] TestResult ks_two_sample(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Chi-square goodness-of-fit test against the uniform distribution over
+/// `bins` categories.  `counts[i]` is the observed count of category i.
+/// Used to validate placement-function uniformity (paper mbpta-p2/p3).
+[[nodiscard]] TestResult chi2_uniform(std::span<const std::size_t> counts);
+
+/// MBPTA-style i.i.d. verdict over one execution-time sample: Ljung-Box on
+/// the full series plus KS between the two halves (the standard split-sample
+/// identical-distribution check used with MBPTA).
+struct IidVerdict {
+  TestResult independence;  ///< Ljung-Box, 20 lags
+  TestResult identical;     ///< KS two-sample on halves
+  [[nodiscard]] bool passed(double alpha = 0.05) const {
+    return independence.passed(alpha) && identical.passed(alpha);
+  }
+};
+
+/// Run both i.i.d. checks the paper applies.  Precondition: xs.size() >= 50.
+[[nodiscard]] IidVerdict iid_check(std::span<const double> xs,
+                                   std::size_t lags = 20);
+
+}  // namespace tsc::stats

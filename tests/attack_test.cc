@@ -1,0 +1,192 @@
+// Tests for the attack library: timing profiles and the Bernstein
+// correlation analysis on synthetic (controlled) leakage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/bernstein.h"
+#include "attack/profile.h"
+#include "rng/rng.h"
+
+namespace tsc::attack {
+namespace {
+
+crypto::Block random_block(rng::Rng& g) {
+  crypto::Block b{};
+  for (auto& x : b) x = static_cast<std::uint8_t>(g.next_below(256));
+  return b;
+}
+
+TEST(TimingProfileTest, MeansAndDeviations) {
+  TimingProfile p;
+  crypto::Block a{};
+  a[0] = 10;
+  crypto::Block b{};
+  b[0] = 20;
+  p.add(a, 100.0);
+  p.add(a, 110.0);
+  p.add(b, 200.0);
+  EXPECT_EQ(p.samples(), 3u);
+  EXPECT_NEAR(p.global_mean(), 136.666, 1e-2);
+  EXPECT_NEAR(p.cell_mean(0, 10), 105.0, 1e-9);
+  EXPECT_NEAR(p.cell_mean(0, 20), 200.0, 1e-9);
+  EXPECT_NEAR(p.deviation(0, 10), 105.0 - p.global_mean(), 1e-9);
+  EXPECT_EQ(p.cell_count(0, 10), 2u);
+  EXPECT_EQ(p.cell_count(0, 99), 0u);
+  EXPECT_DOUBLE_EQ(p.deviation(0, 99), 0.0) << "empty cells deviate by 0";
+}
+
+TEST(TimingProfileTest, DeviationRowHasAllValues) {
+  TimingProfile p;
+  crypto::Block blk{};
+  p.add(blk, 5.0);
+  const auto row = p.deviation_row(3);
+  EXPECT_EQ(row.size(), 256u);
+}
+
+// Synthetic leakage: duration = base + kAmp iff the table line of
+// (pt[i] ^ key[i]) is in a fixed irregular "slow" subset.  This is the
+// Bernstein mechanism reduced to its essence; the attack must recover the
+// key's line bits from it.
+class SyntheticLeak {
+ public:
+  explicit SyntheticLeak(std::uint64_t pattern_seed) {
+    rng::SplitMix64 g(pattern_seed);
+    for (auto& s : slow_line_) s = g.next_bool(0.4);
+  }
+
+  [[nodiscard]] double duration(const crypto::Block& pt,
+                                const crypto::Key& key, rng::Rng& noise) const {
+    double t = 1000.0 + 3.0 * noise.next_double();
+    for (int i = 0; i < 16; ++i) {
+      const int line = (pt[i] ^ key[i]) >> 3;
+      if (slow_line_[line]) t += 8.0;
+    }
+    return t;
+  }
+
+ private:
+  std::array<bool, 32> slow_line_{};
+};
+
+TimingProfile make_profile(const SyntheticLeak& leak, const crypto::Key& key,
+                           std::uint64_t seed, int samples) {
+  TimingProfile p;
+  rng::XorShift64Star pt_rng(seed);
+  rng::XorShift64Star noise_rng(seed ^ 0xABCDEF);
+  for (int s = 0; s < samples; ++s) {
+    const crypto::Block pt = random_block(pt_rng);
+    p.add(pt, leak.duration(pt, key, noise_rng));
+  }
+  return p;
+}
+
+TEST(BernsteinAttackTest, RecoversKeyLineBitsFromSyntheticLeak) {
+  const SyntheticLeak leak(77);
+  crypto::Key victim_key{};
+  rng::Pcg32 kg(5);
+  for (auto& b : victim_key) b = static_cast<std::uint8_t>(kg.next_below(256));
+  const crypto::Key attacker_key{};  // zero
+
+  const TimingProfile vic = make_profile(leak, victim_key, 101, 40000);
+  const TimingProfile att = make_profile(leak, attacker_key, 202, 40000);
+  const AttackResult r = bernstein_attack(vic, att, attacker_key, victim_key);
+
+  // Line granularity is 8 values; the attack cannot do better than the
+  // line, so rank < 8 is full success for a byte.
+  int recovered = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (r.bytes[i].true_rank < 8) ++recovered;
+  }
+  EXPECT_GE(recovered, 14) << "clean synthetic leak must be recovered";
+  EXPECT_GT(r.bits_determined(), 60.0);
+  EXPECT_EQ(r.deceived_bytes(), 0);
+}
+
+TEST(BernsteinAttackTest, UncorrelatedProfilesDiscloseNothing) {
+  // Victim leaks through pattern A; attacker's machine leaks through an
+  // unrelated pattern B - the TSCache situation (different seeds, different
+  // layouts).
+  const SyntheticLeak leak_a(77);
+  const SyntheticLeak leak_b(990099);
+  crypto::Key victim_key{};
+  victim_key[0] = 0xAB;
+  const crypto::Key attacker_key{};
+  const TimingProfile vic = make_profile(leak_a, victim_key, 103, 30000);
+  const TimingProfile att = make_profile(leak_b, attacker_key, 204, 30000);
+  const AttackResult r = bernstein_attack(vic, att, attacker_key, victim_key);
+  EXPECT_NEAR(r.effective_log2_keyspace(), 128.0, 1e-9)
+      << "cross-layout correlation must not disclose key material";
+}
+
+TEST(BernsteinAttackTest, FlatTimingDisclosesNothing) {
+  TimingProfile vic;
+  TimingProfile att;
+  rng::XorShift64Star g(5);
+  for (int s = 0; s < 20000; ++s) {
+    vic.add(random_block(g), 1000.0);
+    att.add(random_block(g), 1000.0);
+  }
+  const crypto::Key zero{};
+  const AttackResult r = bernstein_attack(vic, att, zero, zero);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(r.bytes[i].significant_count, 0) << "byte " << i;
+  }
+  EXPECT_NEAR(r.effective_log2_keyspace(), 128.0, 1e-9);
+}
+
+TEST(BernsteinAttackTest, NonZeroAttackerKeyStillAligns) {
+  const SyntheticLeak leak(312);
+  crypto::Key victim_key{};
+  crypto::Key attacker_key{};
+  rng::Pcg32 kg(8);
+  for (auto& b : victim_key) b = static_cast<std::uint8_t>(kg.next_below(256));
+  for (auto& b : attacker_key) b = static_cast<std::uint8_t>(kg.next_below(256));
+  const TimingProfile vic = make_profile(leak, victim_key, 11, 30000);
+  const TimingProfile att = make_profile(leak, attacker_key, 22, 30000);
+  const AttackResult r = bernstein_attack(vic, att, attacker_key, victim_key);
+  int recovered = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (r.bytes[i].true_rank < 8) ++recovered;
+  }
+  EXPECT_GE(recovered, 14)
+      << "the XOR alignment must account for the attacker's own key";
+}
+
+TEST(AttackResultTest, MetricsAreConsistent) {
+  const SyntheticLeak leak(9);
+  crypto::Key victim_key{};
+  const crypto::Key attacker_key{};
+  const TimingProfile vic = make_profile(leak, victim_key, 31, 20000);
+  const TimingProfile att = make_profile(leak, attacker_key, 32, 20000);
+  const AttackResult r = bernstein_attack(vic, att, attacker_key, victim_key);
+  EXPECT_NEAR(r.bits_determined() + r.log2_remaining_keyspace(), 128.0, 1e-9);
+  EXPECT_GE(r.oracle_log2_remaining(), 0.0);
+  EXPECT_LE(r.effective_log2_keyspace(), 128.0);
+  for (int i = 0; i < 16; ++i) {
+    const auto& b = r.bytes[i];
+    EXPECT_GE(b.kept_candidates(), 1);
+    EXPECT_LE(b.kept_candidates(), 256);
+    // The figure row marks the true key and has 256 cells.
+    const std::string row = r.figure5_row(i);
+    EXPECT_EQ(row.size(), 256u);
+    EXPECT_EQ(row[victim_key[i]], 'K');
+  }
+}
+
+TEST(AttackResultTest, Figure5RowMarksFeasibleCells) {
+  const SyntheticLeak leak(10);
+  crypto::Key victim_key{};
+  victim_key[2] = 0x5A;
+  const crypto::Key attacker_key{};
+  const TimingProfile vic = make_profile(leak, victim_key, 41, 20000);
+  const TimingProfile att = make_profile(leak, attacker_key, 42, 20000);
+  const AttackResult r = bernstein_attack(vic, att, attacker_key, victim_key);
+  const std::string row = r.figure5_row(2);
+  const auto greys = static_cast<int>(std::count(row.begin(), row.end(), '+'));
+  const auto whites = static_cast<int>(std::count(row.begin(), row.end(), '.'));
+  EXPECT_EQ(greys + whites + 1, 256);
+}
+
+}  // namespace
+}  // namespace tsc::attack

@@ -1,0 +1,123 @@
+// Property tests for the Benes/Waksman permutation network (cache/benes.h).
+//
+// The network is the core of Random Modulo placement: mbpta-p3's "same-page
+// addresses never collide" guarantee is exactly the permutation property
+// verified here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "cache/benes.h"
+
+namespace tsc::cache {
+namespace {
+
+bool is_permutation_of_iota(const std::vector<std::uint32_t>& v) {
+  std::vector<std::uint32_t> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+// The permutation property must hold for EVERY network size and EVERY
+// control stream - this is what makes RM placement a bijection on sets.
+class BenesAllSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BenesAllSizes, OutputIsAlwaysPermutation) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t drv = 0; drv < 64; ++drv) {
+    const auto perm = benes_permutation(n, drv * 0x9E3779B97F4A7C15ULL + drv);
+    ASSERT_EQ(perm.size(), n);
+    EXPECT_TRUE(is_permutation_of_iota(perm)) << "n=" << n << " drv=" << drv;
+  }
+}
+
+TEST_P(BenesAllSizes, DeterministicInDriver) {
+  const std::size_t n = GetParam();
+  EXPECT_EQ(benes_permutation(n, 12345), benes_permutation(n, 12345));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BenesAllSizes,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           11u, 13u, 16u, 24u, 32u, 33u));
+
+TEST(Benes, DriversProduceDiversePermutations) {
+  // For the paper's 7-bit L1 index network, 256 drivers should produce many
+  // distinct permutations (not all 5040 exist in a Benes net of size 7, but
+  // far more than a handful).
+  std::set<std::vector<std::uint32_t>> distinct;
+  for (std::uint64_t drv = 0; drv < 256; ++drv) {
+    distinct.insert(benes_permutation(7, drv));
+  }
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+TEST(Benes, SwitchCountFormulaBaseCases) {
+  EXPECT_EQ(benes_switch_count(0), 0u);
+  EXPECT_EQ(benes_switch_count(1), 0u);
+  EXPECT_EQ(benes_switch_count(2), 1u);
+  // n=4: 2 input + 2 output switches + two size-2 subnetworks = 6.
+  EXPECT_EQ(benes_switch_count(4), 6u);
+  // n=8: 4 + 4 + 2*benes(4) = 20 (Benes network keeps the redundant switch).
+  EXPECT_EQ(benes_switch_count(8), 20u);
+}
+
+TEST(Benes, SwitchCountGrowsLogLinear) {
+  // A Benes network of size n has O(n log n) switches; sanity-check bounds
+  // for the sizes the paper's caches need (7 and 11 index bits).
+  EXPECT_LE(benes_switch_count(7), 7u * 3u * 2u);
+  EXPECT_LE(benes_switch_count(11), 11u * 4u * 2u);
+}
+
+TEST(ControlBitsTest, StreamIsDeterministic) {
+  ControlBits a(42);
+  ControlBits b(42);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.next(), b.next()) << "bit " << i;
+  }
+}
+
+TEST(ControlBitsTest, StreamIsBalanced) {
+  ControlBits c(7);
+  int ones = 0;
+  constexpr int kBits = 10000;
+  for (int i = 0; i < kBits; ++i) ones += c.next() ? 1 : 0;
+  EXPECT_GT(ones, kBits * 45 / 100);
+  EXPECT_LT(ones, kBits * 55 / 100);
+}
+
+TEST(ApplyBitPermutation, IdentityAndReversal) {
+  const std::vector<std::uint32_t> identity{0, 1, 2, 3};
+  EXPECT_EQ(apply_bit_permutation(0b1010, identity), 0b1010u);
+  const std::vector<std::uint32_t> reverse{3, 2, 1, 0};
+  EXPECT_EQ(apply_bit_permutation(0b0001, reverse), 0b1000u);
+  EXPECT_EQ(apply_bit_permutation(0b1010, reverse), 0b0101u);
+}
+
+TEST(ApplyBitPermutation, BijectionOverAllValues) {
+  // Any bit-position permutation must be a bijection over the value space -
+  // RM's no-same-page-conflict guarantee depends on it.
+  const std::vector<std::uint32_t> perm{2, 0, 3, 1};
+  std::set<std::uint32_t> images;
+  for (std::uint32_t v = 0; v < 16; ++v) {
+    images.insert(apply_bit_permutation(v, perm));
+  }
+  EXPECT_EQ(images.size(), 16u);
+}
+
+TEST(Benes, PermuteArbitraryItems) {
+  const std::vector<std::uint32_t> items{10, 20, 30, 40, 50};
+  ControlBits ctrl(99);
+  const auto out = benes_permute(items, ctrl);
+  std::vector<std::uint32_t> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+}  // namespace
+}  // namespace tsc::cache

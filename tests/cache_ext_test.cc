@@ -1,0 +1,162 @@
+// Tests for the related-work cache extensions: way partitioning (paper
+// ref [20], the isolation baseline section 7 discusses) and the random-fill
+// cache (ref [18]).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cache/builder.h"
+
+namespace tsc::cache {
+namespace {
+
+constexpr ProcId kP1{1};
+constexpr ProcId kP2{2};
+
+std::shared_ptr<rng::Rng> test_rng(std::uint64_t seed = 21) {
+  return std::make_shared<rng::XorShift64Star>(seed);
+}
+
+CacheSpec small_spec() {
+  CacheSpec spec;
+  spec.config.geometry = Geometry(512, 4, 16);  // 8 sets, 4 ways
+  spec.mapper = MapperKind::kModulo;
+  spec.replacement = ReplacementKind::kLru;
+  return spec;
+}
+
+Addr addr_for(std::uint32_t set, std::uint64_t tag) {
+  return (tag * 8 + set) * 16;
+}
+
+// --- way partitioning ---------------------------------------------------------
+
+TEST(WayPartitioning, DisjointPartitionsNeverEvictEachOther) {
+  auto c = build_cache(small_spec());
+  c->set_way_partition(kP1, 0, 2);
+  c->set_way_partition(kP2, 2, 2);
+
+  // P1 installs two lines in set 3 (fills its whole partition).
+  c->access(kP1, addr_for(3, 0), false);
+  c->access(kP1, addr_for(3, 1), false);
+  // P2 thrashes the same set far beyond its own partition's capacity.
+  for (std::uint64_t t = 10; t < 30; ++t) {
+    c->access(kP2, addr_for(3, t), false);
+  }
+  // P1's lines must have survived: isolation is the whole point.
+  EXPECT_TRUE(c->contains(kP1, addr_for(3, 0)));
+  EXPECT_TRUE(c->contains(kP1, addr_for(3, 1)));
+}
+
+TEST(WayPartitioning, PartitionLimitsEffectiveAssociativity) {
+  auto c = build_cache(small_spec());
+  c->set_way_partition(kP1, 0, 2);
+  // Three conflicting lines in a 2-way partition: one must fall out.
+  c->access(kP1, addr_for(5, 0), false);
+  c->access(kP1, addr_for(5, 1), false);
+  c->access(kP1, addr_for(5, 2), false);
+  int resident = 0;
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    if (c->contains(kP1, addr_for(5, t))) ++resident;
+  }
+  EXPECT_EQ(resident, 2) << "2-way partition holds exactly 2 of 3 lines";
+}
+
+TEST(WayPartitioning, UnpartitionedProcessUsesAllWays) {
+  auto c = build_cache(small_spec());
+  c->set_way_partition(kP1, 0, 2);
+  // P2 has no partition: 4 conflicting lines all fit the 4 ways.
+  for (std::uint64_t t = 0; t < 4; ++t) c->access(kP2, addr_for(6, t), false);
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    EXPECT_TRUE(c->contains(kP2, addr_for(6, t)));
+  }
+}
+
+TEST(WayPartitioning, ClearRestoresFullAssociativity) {
+  auto c = build_cache(small_spec());
+  c->set_way_partition(kP1, 0, 1);
+  c->clear_way_partition(kP1);
+  for (std::uint64_t t = 0; t < 4; ++t) c->access(kP1, addr_for(2, t), false);
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    EXPECT_TRUE(c->contains(kP1, addr_for(2, t)));
+  }
+}
+
+TEST(WayPartitioning, CrossPartitionHitsStillWork) {
+  // Lookups search all ways: a line installed before partitioning remains
+  // visible (real hardware does not re-home lines on reconfiguration).
+  auto c = build_cache(small_spec());
+  c->access(kP1, addr_for(1, 0), false);
+  c->set_way_partition(kP1, 2, 2);
+  EXPECT_TRUE(c->access(kP1, addr_for(1, 0), false).hit);
+}
+
+// --- random fill ---------------------------------------------------------------
+
+CacheSpec random_fill_spec(std::uint32_t window) {
+  CacheSpec spec = small_spec();
+  spec.config.random_fill_window = window;
+  return spec;
+}
+
+TEST(RandomFill, DemandLineIsNotCached) {
+  auto c = build_cache(random_fill_spec(4), test_rng());
+  const AccessResult r = c->access(kP1, 0x100, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(r.allocated);
+  // Re-access usually misses again (the line itself was not fetched) -
+  // unless the random neighbour draw picked exactly this line (1 in 9).
+  int hits = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto fresh = build_cache(random_fill_spec(4), test_rng(100 + i));
+    (void)fresh->access(kP1, 0x100, false);
+    if (fresh->access(kP1, 0x100, false).hit) ++hits;
+  }
+  EXPECT_LT(hits, 10) << "demand line must usually stay uncached";
+}
+
+TEST(RandomFill, NeighbourWithinWindowGetsCached) {
+  auto c = build_cache(random_fill_spec(2), test_rng(7));
+  const Addr line_bytes = 16;
+  (void)c->access(kP1, 0x400, false);
+  // Exactly one line within +/-2 lines of 0x400 is now resident.
+  int resident = 0;
+  for (int d = -2; d <= 2; ++d) {
+    if (c->contains(kP1, 0x400 + static_cast<Addr>(d) * line_bytes)) {
+      ++resident;
+    }
+  }
+  EXPECT_EQ(resident, 1);
+  EXPECT_EQ(c->valid_lines(), 1u);
+}
+
+TEST(RandomFill, FillsSpreadAcrossTheWindow) {
+  // Over many independent caches, the filled neighbour must not always be
+  // the same line (that would re-create a deterministic channel).
+  std::set<Addr> filled;
+  for (int i = 0; i < 40; ++i) {
+    auto c = build_cache(random_fill_spec(4), test_rng(500 + i));
+    (void)c->access(kP1, 0x800, false);
+    for (int d = -4; d <= 4; ++d) {
+      const Addr a = 0x800 + static_cast<Addr>(d) * 16;
+      if (c->contains(kP1, a)) filled.insert(a);
+    }
+  }
+  EXPECT_GT(filled.size(), 4u);
+}
+
+TEST(RandomFill, WritesStillAllocateNormally) {
+  auto c = build_cache(random_fill_spec(4), test_rng(9));
+  (void)c->access(kP1, 0x200, true);
+  EXPECT_TRUE(c->contains(kP1, 0x200))
+      << "random fill applies to demand reads; write-allocate is unchanged";
+}
+
+TEST(RandomFill, RequiresRng) {
+  EXPECT_THROW((void)build_cache(random_fill_spec(4), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsc::cache

@@ -1,0 +1,116 @@
+// Unit tests for common/bitops.h and common/types.h.
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/types.h"
+
+namespace tsc {
+namespace {
+
+TEST(BitOps, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(BitOps, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(128), 7u);
+  EXPECT_EQ(log2_exact(2048), 11u);
+  EXPECT_EQ(log2_exact(1ULL << 40), 40u);
+}
+
+TEST(BitOps, BitsExtraction) {
+  EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+  EXPECT_EQ(bits(0xABCD, 8, 8), 0xABu);
+  EXPECT_EQ(bits(0xFF, 0, 0), 0u);
+  EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+  EXPECT_EQ(bits(~0ULL, 63, 1), 1u);
+}
+
+TEST(BitOps, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(7), 0x7Fu);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+}
+
+TEST(BitOps, RotlField) {
+  // 4-bit field 0b0001 rotated left by 1 -> 0b0010.
+  EXPECT_EQ(rotl_field(0b0001, 4, 1), 0b0010u);
+  // Wrap-around: MSB of the field comes back as LSB.
+  EXPECT_EQ(rotl_field(0b1000, 4, 1), 0b0001u);
+  // Rotation by the field width is the identity.
+  EXPECT_EQ(rotl_field(0b1010, 4, 4), 0b1010u);
+  // Bits above the field are discarded before rotating.
+  EXPECT_EQ(rotl_field(0xF0 | 0b0001, 4, 1), 0b0010u);
+}
+
+// Rotation must be a bijection on the field for every amount: rotating by
+// `a` then by `width - a` restores the input.
+class RotlRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RotlRoundTrip, InverseRestores) {
+  const unsigned width = 7;  // L1 index width in the paper's platform
+  const unsigned amount = GetParam();
+  const unsigned inverse = (width - amount % width) % width;
+  for (std::uint64_t v = 0; v < (1u << width); ++v) {
+    const std::uint64_t once = rotl_field(v, width, amount);
+    const std::uint64_t back = rotl_field(once, width, inverse);
+    EXPECT_EQ(back, v) << "amount=" << amount << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAmounts, RotlRoundTrip,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u, 13u));
+
+TEST(BitOps, XorFold) {
+  EXPECT_EQ(xor_fold(0x0, 8), 0u);
+  EXPECT_EQ(xor_fold(0xFF, 8), 0xFFu);
+  EXPECT_EQ(xor_fold(0xFF00FF, 8), 0u);  // FF ^ 00 ^ FF = 0
+  EXPECT_EQ(xor_fold(0x1234, 8), (0x12u ^ 0x34u));
+  EXPECT_EQ(xor_fold(0xABCDEF, 12), (0xABCu ^ 0xDEFu));
+}
+
+TEST(BitOps, Parity) {
+  EXPECT_EQ(parity(0), 0u);
+  EXPECT_EQ(parity(1), 1u);
+  EXPECT_EQ(parity(0b1011), 1u);
+  EXPECT_EQ(parity(0b1111), 0u);
+}
+
+TEST(BitOps, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0x1, 8), 0x80u);
+  // Involution: reversing twice restores.
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 6), 6), v);
+  }
+}
+
+TEST(Types, ProcIdComparisons) {
+  EXPECT_EQ(ProcId{3}, ProcId{3});
+  EXPECT_NE(ProcId{3}, ProcId{4});
+  EXPECT_LT(ProcId{3}, ProcId{4});
+  EXPECT_EQ(kOsProc, ProcId{0});
+}
+
+TEST(Types, SeedComparisons) {
+  EXPECT_EQ(Seed{42}, Seed{42});
+  EXPECT_NE(Seed{42}, Seed{43});
+}
+
+TEST(Types, HashUsableInMaps) {
+  EXPECT_NE(std::hash<ProcId>{}(ProcId{1}), std::hash<ProcId>{}(ProcId{2}));
+  EXPECT_NE(std::hash<Seed>{}(Seed{1}), std::hash<Seed>{}(Seed{2}));
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,184 @@
+// Tests for AES-128 (crypto/aes.h) and the instrumented SimAes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/aes.h"
+#include "crypto/sim_aes.h"
+#include "rng/rng.h"
+#include "sim/machine.h"
+
+namespace tsc::crypto {
+namespace {
+
+Key hex_key(std::initializer_list<int> bytes) {
+  Key k{};
+  int i = 0;
+  for (const int b : bytes) k[i++] = static_cast<std::uint8_t>(b);
+  return k;
+}
+
+Block hex_block(std::initializer_list<int> bytes) {
+  Block blk{};
+  int i = 0;
+  for (const int b : bytes) blk[i++] = static_cast<std::uint8_t>(b);
+  return blk;
+}
+
+// FIPS-197 Appendix A.1 / B test vector.
+const Key kFipsKey = hex_key({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                              0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+const Block kFipsPlain =
+    hex_block({0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31,
+               0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34});
+const Block kFipsCipher =
+    hex_block({0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11,
+               0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32});
+
+// FIPS-197 Appendix C.1.
+const Key kC1Key = hex_key({0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                            0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f});
+const Block kC1Plain =
+    hex_block({0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99,
+               0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff});
+const Block kC1Cipher =
+    hex_block({0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd,
+               0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a});
+
+TEST(KeyExpansion, Fips197AppendixAWords) {
+  const KeySchedule ks = expand_key(kFipsKey);
+  EXPECT_EQ(ks.words[0], 0x2b7e1516u);
+  EXPECT_EQ(ks.words[3], 0x09cf4f3cu);
+  EXPECT_EQ(ks.words[4], 0xa0fafe17u);   // first derived word
+  EXPECT_EQ(ks.words[9], 0x7a96b943u);
+  EXPECT_EQ(ks.words[10], 0x5935807au);
+  EXPECT_EQ(ks.words[43], 0xb6630ca6u);  // last word
+}
+
+TEST(ReferenceCipher, Fips197VectorB) {
+  const KeySchedule ks = expand_key(kFipsKey);
+  EXPECT_EQ(encrypt_reference(kFipsPlain, ks), kFipsCipher);
+}
+
+TEST(ReferenceCipher, Fips197VectorC1) {
+  const KeySchedule ks = expand_key(kC1Key);
+  EXPECT_EQ(encrypt_reference(kC1Plain, ks), kC1Cipher);
+}
+
+TEST(ReferenceCipher, DecryptInvertsEncrypt) {
+  const KeySchedule ks = expand_key(kFipsKey);
+  EXPECT_EQ(decrypt_reference(kFipsCipher, ks), kFipsPlain);
+  rng::Pcg32 g(3);
+  for (int i = 0; i < 50; ++i) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(g.next_below(256));
+    EXPECT_EQ(decrypt_reference(encrypt_reference(pt, ks), ks), pt);
+  }
+}
+
+TEST(TtableCipher, MatchesFipsVectors) {
+  EXPECT_EQ(encrypt_ttable(kFipsPlain, expand_key(kFipsKey)), kFipsCipher);
+  EXPECT_EQ(encrypt_ttable(kC1Plain, expand_key(kC1Key)), kC1Cipher);
+}
+
+TEST(TtableCipher, AgreesWithReferenceOnRandomInputs) {
+  rng::Pcg32 g(4);
+  for (int i = 0; i < 200; ++i) {
+    Key key{};
+    Block pt{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(g.next_below(256));
+    for (auto& b : pt) b = static_cast<std::uint8_t>(g.next_below(256));
+    const KeySchedule ks = expand_key(key);
+    EXPECT_EQ(encrypt_ttable(pt, ks), encrypt_reference(pt, ks));
+  }
+}
+
+TEST(Ttable, StructuralProperties) {
+  const Ttables& t = ttables();
+  // Te1..Te3 are byte rotations of Te0.
+  for (int x = 0; x < 256; ++x) {
+    const std::uint32_t w = t.te[0][x];
+    EXPECT_EQ(t.te[1][x], (w >> 8) | (w << 24));
+    EXPECT_EQ(t.te[2][x], (w >> 16) | (w << 16));
+    EXPECT_EQ(t.te[3][x], (w >> 24) | (w << 8));
+  }
+  // S-box spot values (FIPS-197 Figure 7).
+  EXPECT_EQ(t.sbox[0x00], 0x63);
+  EXPECT_EQ(t.sbox[0x01], 0x7c);
+  EXPECT_EQ(t.sbox[0x53], 0xed);
+  EXPECT_EQ(t.sbox[0xff], 0x16);
+}
+
+TEST(FirstRoundIndices, XorOfPlaintextAndKey) {
+  const auto idx = first_round_indices(kFipsPlain, kFipsKey);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(idx[i], kFipsPlain[i] ^ kFipsKey[i]);
+  }
+}
+
+// --- SimAes: the instrumented cipher ------------------------------------------
+
+sim::Machine make_machine() {
+  return sim::Machine(
+      sim::arm920t_config(cache::MapperKind::kModulo, cache::MapperKind::kModulo,
+                          cache::ReplacementKind::kLru),
+      std::make_shared<rng::XorShift64Star>(1));
+}
+
+TEST(SimAes, OutputBitExactWithHostTtable) {
+  auto m = make_machine();
+  SimAes aes(m, SimAesLayout{}, kFipsKey);
+  EXPECT_EQ(aes.encrypt(kFipsPlain), kFipsCipher);
+  rng::Pcg32 g(9);
+  const KeySchedule ks = expand_key(kFipsKey);
+  for (int i = 0; i < 50; ++i) {
+    Block pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(g.next_below(256));
+    EXPECT_EQ(aes.encrypt(pt), encrypt_ttable(pt, ks));
+  }
+}
+
+TEST(SimAes, AdvancesMachineTimeAndCountsEvents) {
+  auto m = make_machine();
+  SimAes aes(m, SimAesLayout{}, kFipsKey);
+  (void)aes.encrypt(kFipsPlain);
+  EXPECT_GT(aes.last_duration(), 0u);
+  EXPECT_EQ(m.now(), aes.last_duration());
+  // 16 table loads per main round + 16 final + key/stack traffic.
+  EXPECT_GE(m.stats().loads, 9u * 16u + 16u);
+  EXPECT_GT(m.stats().instructions, 400u);
+}
+
+TEST(SimAes, WarmEncryptionFasterThanCold) {
+  auto m = make_machine();
+  SimAes aes(m, SimAesLayout{}, kFipsKey);
+  (void)aes.encrypt(kFipsPlain);
+  const Cycles cold = aes.last_duration();
+  (void)aes.encrypt(kFipsPlain);
+  const Cycles warm = aes.last_duration();
+  EXPECT_LT(warm, cold / 2) << "code and tables should be cached by run 2";
+}
+
+TEST(SimAes, RekeyChangesCiphertext) {
+  auto m = make_machine();
+  SimAes aes(m, SimAesLayout{}, kFipsKey);
+  const Block c1 = aes.encrypt(kFipsPlain);
+  aes.rekey(kC1Key);
+  EXPECT_EQ(aes.key(), kC1Key);
+  EXPECT_NE(aes.encrypt(kFipsPlain), c1);
+}
+
+TEST(SimAes, TableLookupsTouchSimulatedTableRegion) {
+  auto m = make_machine();
+  SimAesLayout layout;
+  SimAes aes(m, layout, kFipsKey);
+  (void)aes.encrypt(kFipsPlain);
+  // Round-1 index for byte 0 is pt[0]^key[0]; its table entry must now be
+  // cached in L1D.
+  const std::uint8_t idx0 = kFipsPlain[0] ^ kFipsKey[0];
+  const Addr entry = layout.tables + static_cast<Addr>(idx0) * 4;
+  EXPECT_TRUE(m.hierarchy().l1d().contains(m.process(), entry));
+}
+
+}  // namespace
+}  // namespace tsc::crypto

@@ -1,0 +1,176 @@
+// Tests for the EVT / pWCET machinery (stats/evt.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.h"
+#include "stats/descriptive.h"
+#include "stats/evt.h"
+
+namespace tsc::stats {
+namespace {
+
+// Draw from a Gumbel(mu, beta) via inverse transform.
+std::vector<double> gumbel_sample(double mu, double beta, int n,
+                                  std::uint64_t seed) {
+  rng::Pcg32 g(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = g.next_double();
+    xs.push_back(mu - beta * std::log(-std::log(u + 1e-15)));
+  }
+  return xs;
+}
+
+// Draw from Exponential(rate 1/scale).
+std::vector<double> exp_sample(double scale, int n, std::uint64_t seed) {
+  rng::Pcg32 g(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(-scale * std::log(1.0 - g.next_double()));
+  }
+  return xs;
+}
+
+TEST(GumbelFit, RecoversParametersFromSyntheticSample) {
+  const auto xs = gumbel_sample(100.0, 5.0, 20000, 7);
+  const GumbelFit f = fit_gumbel(xs);
+  EXPECT_NEAR(f.mu, 100.0, 0.5);
+  EXPECT_NEAR(f.beta, 5.0, 0.3);
+}
+
+TEST(GumbelFit, ExceedanceQuantileRoundTrip) {
+  const GumbelFit f{.mu = 50.0, .beta = 3.0};
+  for (const double p : {0.5, 1e-3, 1e-6, 1e-10, 1e-12}) {
+    const double x = f.quantile_exceedance(p);
+    EXPECT_NEAR(f.exceedance(x) / p, 1.0, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(GumbelFit, ExceedanceMonotoneDecreasing) {
+  const GumbelFit f{.mu = 10.0, .beta = 2.0};
+  double prev = 1.0;
+  for (double x = 0; x < 60; x += 2.5) {
+    const double e = f.exceedance(x);
+    EXPECT_LE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(BlockMaxima, BasicGrouping) {
+  const std::vector<double> xs{1, 5, 2, 8, 3, 4, 9, 0};
+  const auto m = block_maxima(xs, 2);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m[0], 5);
+  EXPECT_DOUBLE_EQ(m[1], 8);
+  EXPECT_DOUBLE_EQ(m[2], 4);
+  EXPECT_DOUBLE_EQ(m[3], 9);
+}
+
+TEST(BlockMaxima, DropsPartialTrailingBlock) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_EQ(block_maxima(xs, 2).size(), 2u);
+  EXPECT_EQ(block_maxima(xs, 5).size(), 1u);
+  EXPECT_EQ(block_maxima(xs, 6).size(), 0u);
+}
+
+TEST(GpdFit, ExponentialTailHasShapeNearZero) {
+  const auto xs = exp_sample(10.0, 50000, 9);
+  const GpdFit f = fit_gpd_pot(xs, 0.85);
+  EXPECT_NEAR(f.shape, 0.0, 0.08);
+  // Excesses of an exponential are exponential with the same scale.
+  EXPECT_NEAR(f.scale, 10.0, 1.0);
+  EXPECT_NEAR(f.zeta, 0.15, 0.01);
+}
+
+TEST(GpdFit, ExceedanceQuantileRoundTrip) {
+  const GpdFit f{.threshold = 100.0, .scale = 4.0, .shape = 0.1, .zeta = 0.1};
+  for (const double p : {1e-2, 1e-4, 1e-8, 1e-10}) {
+    const double x = f.quantile_exceedance(p);
+    EXPECT_NEAR(f.exceedance(x) / p, 1.0, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(GpdFit, BoundedTailReachesZero) {
+  // Negative shape: finite right endpoint at u - scale/shape.
+  const GpdFit f{.threshold = 10.0, .scale = 2.0, .shape = -0.5, .zeta = 0.2};
+  const double endpoint = 10.0 + 2.0 / 0.5;
+  EXPECT_DOUBLE_EQ(f.exceedance(endpoint + 1.0), 0.0);
+  EXPECT_GT(f.exceedance(endpoint - 0.5), 0.0);
+}
+
+class PwcetBothModels : public ::testing::TestWithParam<TailModel> {};
+
+TEST_P(PwcetBothModels, CurveIsMonotone) {
+  const auto xs = gumbel_sample(1000.0, 20.0, 5000, 13);
+  const PwcetModel model(xs, GetParam());
+  double prev_bound = 0;
+  for (const auto& pt : model.curve(1e-15)) {
+    EXPECT_GE(pt.bound, prev_bound)
+        << "pWCET must not decrease as exceedance probability decreases";
+    prev_bound = pt.bound;
+  }
+}
+
+TEST_P(PwcetBothModels, PwcetExceedsSampleMaxAtTinyProbability) {
+  const auto xs = gumbel_sample(1000.0, 20.0, 5000, 14);
+  const PwcetModel model(xs, GetParam());
+  const double sample_max = *std::max_element(xs.begin(), xs.end());
+  EXPECT_GE(model.pwcet(1e-10), sample_max)
+      << "a 1e-10 pWCET below the observed maximum is not credible";
+}
+
+TEST_P(PwcetBothModels, ExceedanceConsistentWithEmpiricalAtMedian) {
+  // A large sample keeps the method-of-moments fit tight enough that the
+  // (deliberately conservative) tail estimate stays near the empirical
+  // survivor function at the median.
+  const auto xs = gumbel_sample(1000.0, 20.0, 40000, 15);
+  const PwcetModel model(xs, GetParam());
+  const double med = quantile(xs, 0.5);
+  const double e = model.exceedance(med);
+  EXPECT_GE(e, 0.45) << "exceedance must never undershoot the empirical SF";
+  EXPECT_LE(e, 0.70) << "conservatism at the median got out of hand";
+}
+
+TEST_P(PwcetBothModels, ExceedanceMonotoneInBound) {
+  const auto xs = gumbel_sample(1000.0, 20.0, 2000, 16);
+  const PwcetModel model(xs, GetParam());
+  double prev = 1.0;
+  for (double b = 900; b < 1400; b += 10) {
+    const double e = model.exceedance(b);
+    EXPECT_LE(e, prev + 1e-12);
+    prev = e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, PwcetBothModels,
+                         ::testing::Values(TailModel::kGumbelBlockMaxima,
+                                           TailModel::kGpdPot));
+
+TEST(PwcetModel, GumbelTailTracksTrueDistribution) {
+  // For a true Gumbel sample the 1e-6 pWCET should be close to the true
+  // 1e-6 quantile (within a few scale units).
+  const double mu = 500.0;
+  const double beta = 10.0;
+  const auto xs = gumbel_sample(mu, beta, 100000, 17);
+  const PwcetModel model(xs, TailModel::kGumbelBlockMaxima, 50);
+  const GumbelFit truth{.mu = mu, .beta = beta};
+  const double estimated = model.pwcet(1e-6);
+  const double expected = truth.quantile_exceedance(1e-6);
+  EXPECT_NEAR(estimated, expected, 5 * beta);
+}
+
+TEST(PwcetModel, CurveCoversRequestedDecades)  {
+  const auto xs = gumbel_sample(100.0, 5.0, 1000, 18);
+  const PwcetModel model(xs, TailModel::kGpdPot);
+  const auto curve = model.curve(1e-10);
+  EXPECT_EQ(curve.size(), 10u);  // 1e-1 .. 1e-10
+  EXPECT_NEAR(curve.front().exceedance_prob, 1e-1, 1e-12);
+  EXPECT_NEAR(curve.back().exceedance_prob, 1e-10, 1e-21);
+}
+
+}  // namespace
+}  // namespace tsc::stats

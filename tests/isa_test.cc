@@ -1,0 +1,323 @@
+// Tests for TSISA: encoding, assembler, interpreter, kernels.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "isa/kernels.h"
+#include "rng/rng.h"
+
+namespace tsc::isa {
+namespace {
+
+sim::Machine make_machine() {
+  sim::HierarchyConfig cfg;
+  cfg.l1i.config.geometry = cache::Geometry(4096, 2, 32);
+  cfg.l1d.config.geometry = cache::Geometry(4096, 2, 32);
+  cache::CacheSpec l2;
+  l2.config.geometry = cache::Geometry(32768, 4, 32);
+  cfg.l2 = l2;
+  return sim::Machine(cfg, std::make_shared<rng::XorShift64Star>(3));
+}
+
+// --- encoding ----------------------------------------------------------------
+
+TEST(IsaEncoding, RoundTripAllFormats) {
+  const std::vector<Instr> cases{
+      {Op::kAdd, 1, 2, 3, 0},    {Op::kMul, 15, 14, 13, 0},
+      {Op::kAddi, 4, 5, 0, -32768}, {Op::kAddi, 4, 5, 0, 32767},
+      {Op::kOri, 7, 7, 0, 0xFFFF},  {Op::kLui, 9, 0, 0, 0xABCD},
+      {Op::kLw, 2, 1, 0, 100},   {Op::kSw, 3, 2, 0, -4},
+      {Op::kBeq, 0, 1, 2, -100}, {Op::kBge, 0, 3, 4, 8191},
+      {Op::kJal, 15, 0, 0, -1000}, {Op::kJalr, 0, 15, 0, 0},
+      {Op::kHalt, 0, 0, 0, 0},   {Op::kNop, 0, 0, 0, 0},
+  };
+  for (const Instr& instr : cases) {
+    const auto decoded = decode(encode(instr));
+    ASSERT_TRUE(decoded.has_value()) << to_string(instr);
+    EXPECT_EQ(*decoded, instr) << to_string(instr);
+  }
+}
+
+TEST(IsaEncoding, InvalidOpcodeRejected) {
+  EXPECT_FALSE(decode(0xFFFFFFFFu).has_value());
+}
+
+TEST(IsaEncoding, MnemonicsRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(Op::kNop); ++i) {
+    const Op op = static_cast<Op>(i);
+    const auto back = op_from_mnemonic(mnemonic(op));
+    ASSERT_TRUE(back.has_value()) << mnemonic(op);
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(op_from_mnemonic("bogus").has_value());
+}
+
+TEST(IsaEncoding, ToStringFormats) {
+  EXPECT_EQ(to_string({Op::kAddi, 1, 0, 0, 10}), "addi r1, r0, 10");
+  EXPECT_EQ(to_string({Op::kLw, 2, 1, 0, 8}), "lw r2, 8(r1)");
+  EXPECT_EQ(to_string({Op::kAdd, 3, 1, 2, 0}), "add r3, r1, r2");
+  EXPECT_EQ(to_string({Op::kHalt, 0, 0, 0, 0}), "halt");
+}
+
+// --- assembler -----------------------------------------------------------------
+
+TEST(Assembler, BasicProgramAndSymbols) {
+  const Program p = assemble(R"(
+start:  addi r1, r0, 5
+        addi r2, r0, 7
+        add  r3, r1, r2
+        halt
+)",
+                             0x1000);
+  EXPECT_EQ(p.base, 0x1000u);
+  EXPECT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(p.symbols.at("start"), 0x1000u);
+}
+
+TEST(Assembler, BranchTargetsArePcRelative) {
+  const Program p = assemble(R"(
+        addi r1, r0, 0
+loop:   addi r1, r1, 1
+        beq  r0, r0, loop
+)",
+                             0);
+  const auto branch = decode(p.words[2]);
+  ASSERT_TRUE(branch.has_value());
+  // Branch at 0x8 targeting 0x4: offset = (4 - 8 - 4)/4 = -2.
+  EXPECT_EQ(branch->imm, -2);
+}
+
+TEST(Assembler, LaExpandsToLuiOri) {
+  const Program p = assemble("la r1, 0x12345678\nhalt\n", 0);
+  ASSERT_EQ(p.words.size(), 3u);
+  const auto lui = decode(p.words[0]);
+  const auto ori = decode(p.words[1]);
+  EXPECT_EQ(lui->op, Op::kLui);
+  EXPECT_EQ(lui->imm, 0x1234);
+  EXPECT_EQ(ori->op, Op::kOri);
+  EXPECT_EQ(ori->imm, 0x5678);
+}
+
+TEST(Assembler, DirectivesEmitData) {
+  const Program p = assemble(R"(
+        halt
+value:  .word 0xDEADBEEF
+buf:    .space 8
+)",
+                             0x100);
+  ASSERT_EQ(p.words.size(), 4u);  // halt + word + 2 space words
+  EXPECT_EQ(p.words[1], 0xDEADBEEFu);
+  EXPECT_EQ(p.symbols.at("value"), 0x104u);
+  EXPECT_EQ(p.symbols.at("buf"), 0x108u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  EXPECT_THROW((void)assemble("frobnicate r1, r2\n", 0), AssemblyError);
+  EXPECT_THROW((void)assemble("addi r1, r0\n", 0), AssemblyError);
+  EXPECT_THROW((void)assemble("addi r99, r0, 1\n", 0), AssemblyError);
+  EXPECT_THROW((void)assemble("beq r0, r0, nowhere\n", 0), AssemblyError);
+  EXPECT_THROW((void)assemble("addi r1, r0, 100000\n", 0), AssemblyError);
+  EXPECT_THROW((void)assemble("x: halt\nx: halt\n", 0), AssemblyError);
+  try {
+    (void)assemble("nop\nbogus r1\n", 0);
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+// --- interpreter -----------------------------------------------------------------
+
+TEST(InterpreterTest, ArithmeticAndRegisters) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  interp.load_program(assemble(R"(
+        addi r1, r0, 21
+        addi r2, r0, 2
+        mul  r3, r1, r2
+        sub  r4, r3, r2
+        halt
+)",
+                               0));
+  const RunResult r = interp.run(0);
+  EXPECT_EQ(r.reason, StopReason::kHalt);
+  EXPECT_EQ(interp.reg(3), 42u);
+  EXPECT_EQ(interp.reg(4), 40u);
+  EXPECT_EQ(r.steps, 5u);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(InterpreterTest, RegisterZeroStaysZero) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  interp.load_program(assemble("addi r0, r0, 99\nhalt\n", 0));
+  (void)interp.run(0);
+  EXPECT_EQ(interp.reg(0), 0u);
+}
+
+TEST(InterpreterTest, LoadsAndStores) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  interp.poke32(0x2000, 1234);
+  interp.load_program(assemble(R"(
+        la  r1, 0x2000
+        lw  r2, 0(r1)
+        addi r2, r2, 1
+        sw  r2, 4(r1)
+        lb  r3, 0(r1)       ; low byte of 1234 = 210 -> sign-ext: -46
+        lbu r4, 0(r1)
+        halt
+)",
+                               0));
+  (void)interp.run(0);
+  EXPECT_EQ(interp.peek32(0x2004), 1235u);
+  EXPECT_EQ(static_cast<std::int32_t>(interp.reg(3)), -46);
+  EXPECT_EQ(interp.reg(4), 210u);
+}
+
+TEST(InterpreterTest, BranchLoopComputesSum) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  // Sum 1..10 = 55.
+  interp.load_program(assemble(R"(
+        addi r1, r0, 0      ; sum
+        addi r2, r0, 1      ; i
+        addi r3, r0, 10     ; n
+loop:   add  r1, r1, r2
+        addi r2, r2, 1
+        bge  r3, r2, loop
+        halt
+)",
+                               0));
+  const RunResult r = interp.run(0);
+  EXPECT_EQ(r.reason, StopReason::kHalt);
+  EXPECT_EQ(interp.reg(1), 55u);
+}
+
+TEST(InterpreterTest, JalAndJalrImplementCalls) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  interp.load_program(assemble(R"(
+        jal  r15, func
+        addi r2, r0, 1      ; executed after return
+        halt
+func:   addi r1, r0, 7
+        jalr r0, r15
+)",
+                               0));
+  (void)interp.run(0);
+  EXPECT_EQ(interp.reg(1), 7u);
+  EXPECT_EQ(interp.reg(2), 1u);
+}
+
+TEST(InterpreterTest, StepLimitStopsRunawayLoops) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  interp.load_program(assemble("loop: jal r0, loop\n", 0));
+  const RunResult r = interp.run(0, 100);
+  EXPECT_EQ(r.reason, StopReason::kStepLimit);
+  EXPECT_EQ(r.steps, 100u);
+}
+
+TEST(InterpreterTest, BadInstructionStops) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  interp.poke32(0, 0xFFFFFFFFu);
+  const RunResult r = interp.run(0, 100);
+  EXPECT_EQ(r.reason, StopReason::kBadInstruction);
+}
+
+TEST(InterpreterTest, WarmRunIsFasterThanColdRun) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  interp.load_program(assemble(vector_sum_source(0x4000, 64), 0));
+  const RunResult cold = interp.run(0);
+  const RunResult warm = interp.run(0);
+  EXPECT_EQ(cold.steps, warm.steps) << "functionally identical runs";
+  EXPECT_LT(warm.cycles, cold.cycles);
+}
+
+// --- kernels -----------------------------------------------------------------
+
+TEST(Kernels, VectorSum) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  std::uint32_t expected = 0;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    interp.poke32(0x4000 + 4 * i, i * 3 + 1);
+    expected += i * 3 + 1;
+  }
+  interp.load_program(assemble(vector_sum_source(0x4000, 50), 0));
+  const RunResult r = interp.run(0);
+  EXPECT_EQ(r.reason, StopReason::kHalt);
+  EXPECT_EQ(interp.reg(3), expected);
+}
+
+TEST(Kernels, Memcpy) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  for (std::uint32_t i = 0; i < 32; ++i) interp.poke32(0x4000 + 4 * i, 100 + i);
+  interp.load_program(assemble(memcpy_source(0x4000, 0x8000, 32), 0));
+  (void)interp.run(0);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(interp.peek32(0x8000 + 4 * i), 100 + i);
+  }
+}
+
+TEST(Kernels, BubbleSortSortsDescendingInput) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  constexpr unsigned kN = 24;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    interp.poke32(0x4000 + 4 * i, kN - i);
+  }
+  interp.load_program(assemble(bubble_sort_source(0x4000, kN), 0));
+  const RunResult r = interp.run(0, 5'000'000);
+  ASSERT_EQ(r.reason, StopReason::kHalt);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(interp.peek32(0x4000 + 4 * i), i + 1) << "index " << i;
+  }
+}
+
+TEST(Kernels, MatmulAgainstHostReference) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  constexpr unsigned kN = 6;
+  std::uint32_t a[kN][kN];
+  std::uint32_t b[kN][kN];
+  rng::Pcg32 g(17);
+  for (unsigned i = 0; i < kN; ++i) {
+    for (unsigned j = 0; j < kN; ++j) {
+      a[i][j] = static_cast<std::uint32_t>(g.next_below(100));
+      b[i][j] = static_cast<std::uint32_t>(g.next_below(100));
+      interp.poke32(0x4000 + 4 * (i * kN + j), a[i][j]);
+      interp.poke32(0x8000 + 4 * (i * kN + j), b[i][j]);
+    }
+  }
+  interp.load_program(assemble(matmul_source(0x4000, 0x8000, 0xC000, kN), 0));
+  const RunResult r = interp.run(0, 5'000'000);
+  ASSERT_EQ(r.reason, StopReason::kHalt);
+  for (unsigned i = 0; i < kN; ++i) {
+    for (unsigned j = 0; j < kN; ++j) {
+      std::uint32_t want = 0;
+      for (unsigned k = 0; k < kN; ++k) want += a[i][k] * b[k][j];
+      EXPECT_EQ(interp.peek32(0xC000 + 4 * (i * kN + j)), want)
+          << "c[" << i << "][" << j << "]";
+    }
+  }
+}
+
+TEST(Kernels, StrideWalkTouchesConfiguredFootprint) {
+  auto m = make_machine();
+  Interpreter interp(m);
+  interp.load_program(assemble(stride_walk_source(0x10000, 256, 32, 4096), 0));
+  const RunResult r = interp.run(0);
+  ASSERT_EQ(r.reason, StopReason::kHalt);
+  EXPECT_EQ(m.stats().loads, 256u);
+}
+
+}  // namespace
+}  // namespace tsc::isa

@@ -1,0 +1,173 @@
+// Tests for the AUTOSAR model and seed-managing cyclic executive (os/).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "os/autosar.h"
+#include "rng/rng.h"
+
+namespace tsc::os {
+namespace {
+
+sim::Machine make_machine() {
+  return sim::Machine(
+      sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                          cache::MapperKind::kHashRp,
+                          cache::ReplacementKind::kRandom),
+      std::make_shared<rng::XorShift64Star>(5));
+}
+
+TEST(AutosarModel, HyperperiodIsLcmOfPeriods) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwcHyperperiod, 1);
+  EXPECT_EQ(exec.hyperperiod(), 20'000u);  // lcm(10ms, 20ms) at tick=1000
+}
+
+TEST(AutosarModel, Figure3JobCountsPerHyperperiod) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwcHyperperiod, 1);
+  exec.run(1);
+  // R1, R2 run twice (10ms period in a 20ms hyperperiod); R3, R4, R5 once.
+  std::map<std::string, int> counts;
+  for (const JobRecord& job : exec.trace().jobs) ++counts[job.runnable];
+  EXPECT_EQ(counts["R1"], 2);
+  EXPECT_EQ(counts["R2"], 2);
+  EXPECT_EQ(counts["R3"], 1);
+  EXPECT_EQ(counts["R4"], 1);
+  EXPECT_EQ(counts["R5"], 1);
+}
+
+TEST(AutosarModel, ReleaseOrderRespectsDependencies) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwcHyperperiod, 1);
+  exec.run(1);
+  const auto& jobs = exec.trace().jobs;
+  // At release 0 the declaration order is R1, R2, R3, R4, R5 (R1 -> R2
+  // dependency of Fig. 3 preserved).
+  ASSERT_GE(jobs.size(), 5u);
+  EXPECT_EQ(jobs[0].runnable, "R1");
+  EXPECT_EQ(jobs[1].runnable, "R2");
+  // Starts are monotone: single core, sequential execution.
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].start, jobs[i - 1].start);
+  }
+}
+
+TEST(AutosarModel, JobsNeverStartBeforeTheirRelease) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwcHyperperiod, 1);
+  exec.run(2);
+  // The first job of each hyperperiod has release 0 and anchors the
+  // timeline for that hyperperiod.
+  std::map<std::uint64_t, Cycles> base;
+  for (const JobRecord& job : exec.trace().jobs) {
+    const auto [it, inserted] = base.try_emplace(job.hyperperiod_index,
+                                                 job.start);
+    EXPECT_GE(job.start, it->second + job.release)
+        << job.runnable << " in hyperperiod " << job.hyperperiod_index;
+  }
+}
+
+TEST(AutosarModel, PerSwcPolicyGivesDistinctSeeds) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwc, 7);
+  std::set<std::uint64_t> seeds;
+  for (const char* swc : {"SWC1", "SWC2", "SWC3"}) {
+    seeds.insert(exec.seed_of(swc).value);
+  }
+  EXPECT_EQ(seeds.size(), 3u) << "SWCs must not share seeds (section 5)";
+}
+
+TEST(AutosarModel, GlobalSharedPolicyGivesOneSeed) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kGlobalShared, 7);
+  EXPECT_EQ(exec.seed_of("SWC1"), exec.seed_of("SWC2"));
+  EXPECT_EQ(exec.seed_of("SWC2"), exec.seed_of("SWC3"));
+}
+
+TEST(AutosarModel, HyperperiodPolicyReseedsAndFlushes) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwcHyperperiod, 7);
+  exec.run(1);
+  const Seed first = exec.seed_of("SWC2");
+  EXPECT_EQ(exec.trace().flushes, 0u) << "no boundary crossed yet";
+  exec.run(1);  // crosses one hyperperiod boundary
+  EXPECT_NE(exec.seed_of("SWC2"), first);
+  EXPECT_EQ(exec.trace().flushes, 1u)
+      << "exactly one flush per hyperperiod boundary (section 5: cache "
+         "flushing occurs only once per hyperperiod)";
+}
+
+TEST(AutosarModel, PerSwcPolicyKeepsSeedsAcrossHyperperiods) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwc, 7);
+  exec.run(1);
+  const Seed first = exec.seed_of("SWC2");
+  exec.run(2);
+  EXPECT_EQ(exec.seed_of("SWC2"), first);
+  EXPECT_EQ(exec.trace().flushes, 0u);
+}
+
+TEST(AutosarModel, ContextSwitchesCountSwcTransitions) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwcHyperperiod, 7);
+  exec.run(1);
+  // Job order: R1(S1) R2(S2) R3(S2) R4(S3) R5(S3) | R1(S1) R2(S2):
+  // transitions S1->S2, S2->S3, S3->S1, S1->S2 = 4.
+  EXPECT_EQ(exec.trace().context_switches, 4u);
+}
+
+TEST(AutosarModel, SeedChangesAreChargedToTheMachine) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwcHyperperiod, 7);
+  exec.run(2);
+  // Boundary reseed: 3 SWCs + OS = 4 seed changes, each draining the
+  // pipeline.
+  EXPECT_EQ(exec.trace().seed_changes, 4u);
+  EXPECT_EQ(m.stats().seed_changes, 4u);
+  EXPECT_GE(m.stats().drains, 4u);
+}
+
+TEST(AutosarModel, JobsRunUnderTheirSwcProcess) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwc, 7);
+  EXPECT_NE(exec.proc_of("SWC1"), exec.proc_of("SWC2"));
+  EXPECT_NE(exec.proc_of("SWC1"), kOsProc) << "ProcId 0 is reserved for the OS";
+  EXPECT_THROW((void)exec.proc_of("SWC9"), std::out_of_range);
+}
+
+TEST(AutosarModel, WorkloadsActuallyExecute) {
+  auto m = make_machine();
+  CyclicExecutive exec(m, figure3_app(1000), SeedPolicy::kPerSwcHyperperiod, 7);
+  exec.run(1);
+  EXPECT_GT(m.stats().loads, 0u);
+  EXPECT_GT(m.stats().instructions, 0u);
+  for (const JobRecord& job : exec.trace().jobs) {
+    EXPECT_GT(job.duration, 0u) << job.runnable;
+  }
+}
+
+TEST(AutosarModel, RejectsIllFormedApplications) {
+  auto m = make_machine();
+  EXPECT_THROW(CyclicExecutive(m, AppSpec{}, SeedPolicy::kNone, 1),
+               std::invalid_argument);
+  AppSpec no_runnables;
+  no_runnables.swcs.push_back({"S", {}});
+  EXPECT_THROW(CyclicExecutive(m, no_runnables, SeedPolicy::kNone, 1),
+               std::invalid_argument);
+  AppSpec zero_period;
+  zero_period.swcs.push_back({"S", {{"R", 0, make_touch_workload(0, 0, 1, 1)}}});
+  EXPECT_THROW(CyclicExecutive(m, zero_period, SeedPolicy::kNone, 1),
+               std::invalid_argument);
+}
+
+TEST(AutosarModel, PolicyNames) {
+  EXPECT_EQ(to_string(SeedPolicy::kNone), "none");
+  EXPECT_EQ(to_string(SeedPolicy::kGlobalShared), "global-shared");
+  EXPECT_EQ(to_string(SeedPolicy::kPerSwc), "per-swc");
+  EXPECT_EQ(to_string(SeedPolicy::kPerSwcHyperperiod), "per-swc-hyperperiod");
+}
+
+}  // namespace
+}  // namespace tsc::os

@@ -1,0 +1,144 @@
+// Tests for the replacement policies (cache/replacement.h).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/replacement.h"
+
+namespace tsc::cache {
+namespace {
+
+std::shared_ptr<rng::Rng> test_rng(std::uint64_t seed = 1234) {
+  return std::make_shared<rng::XorShift64Star>(seed);
+}
+
+TEST(LruPolicy, EvictsLeastRecentlyUsed) {
+  auto p = make_replacement(ReplacementKind::kLru, 1, 4);
+  p->fill(0, 0);
+  p->fill(0, 1);
+  p->fill(0, 2);
+  p->fill(0, 3);
+  // Access order now 3 (MRU), 2, 1, 0 (LRU).
+  EXPECT_EQ(p->victim(0), 0u);
+  p->touch(0, 0);  // 0 becomes MRU; LRU is now 1.
+  EXPECT_EQ(p->victim(0), 1u);
+  p->touch(0, 1);
+  p->touch(0, 2);
+  EXPECT_EQ(p->victim(0), 3u);
+}
+
+TEST(LruPolicy, SetsAreIndependent) {
+  auto p = make_replacement(ReplacementKind::kLru, 2, 2);
+  p->fill(0, 0);
+  p->fill(0, 1);
+  p->fill(1, 1);
+  p->fill(1, 0);
+  EXPECT_EQ(p->victim(0), 0u);
+  EXPECT_EQ(p->victim(1), 1u);
+}
+
+TEST(LruPolicy, ResetForgetsHistory) {
+  auto p = make_replacement(ReplacementKind::kLru, 1, 4);
+  p->fill(0, 2);
+  p->touch(0, 0);
+  p->reset();
+  // After reset the policy must still return a valid way.
+  EXPECT_LT(p->victim(0), 4u);
+}
+
+TEST(FifoPolicy, EvictsInFillOrderIgnoringTouches) {
+  auto p = make_replacement(ReplacementKind::kFifo, 1, 4);
+  p->fill(0, 0);
+  p->fill(0, 1);
+  p->fill(0, 2);
+  p->fill(0, 3);
+  EXPECT_EQ(p->victim(0), 0u);
+  p->touch(0, 0);  // FIFO ignores hits
+  EXPECT_EQ(p->victim(0), 0u);
+  p->fill(0, 0);   // replace way 0; oldest is now way 1
+  EXPECT_EQ(p->victim(0), 1u);
+}
+
+TEST(RandomPolicy, VictimCoversAllWaysUniformly) {
+  auto p = make_replacement(ReplacementKind::kRandom, 1, 4, test_rng());
+  std::map<std::uint32_t, int> histogram;
+  constexpr int kTrials = 8000;
+  for (int i = 0; i < kTrials; ++i) ++histogram[p->victim(0)];
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const auto& [way, count] : histogram) {
+    EXPECT_GT(count, kTrials / 4 * 80 / 100) << "way " << way;
+    EXPECT_LT(count, kTrials / 4 * 120 / 100) << "way " << way;
+  }
+}
+
+TEST(RandomPolicy, TouchAndFillAreNoOps) {
+  auto p = make_replacement(ReplacementKind::kRandom, 1, 2, test_rng(7));
+  auto q = make_replacement(ReplacementKind::kRandom, 1, 2, test_rng(7));
+  p->touch(0, 1);
+  p->fill(0, 0);
+  // Same RNG seed, same draw sequence regardless of touches.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(p->victim(0), q->victim(0));
+}
+
+TEST(PlruPolicy, VictimIsNeverTheJustTouchedWay) {
+  auto p = make_replacement(ReplacementKind::kPlru, 1, 8);
+  for (std::uint32_t w = 0; w < 8; ++w) p->fill(0, w);
+  for (std::uint32_t w = 0; w < 8; ++w) {
+    p->touch(0, w);
+    EXPECT_NE(p->victim(0), w) << "PLRU evicted the most recent way";
+  }
+}
+
+TEST(PlruPolicy, TreePointsAwayFromRecentAccesses) {
+  auto p = make_replacement(ReplacementKind::kPlru, 1, 4);
+  p->touch(0, 0);
+  p->touch(0, 1);
+  // Both recent accesses are in the left half; victim must be on the right.
+  const std::uint32_t v = p->victim(0);
+  EXPECT_TRUE(v == 2 || v == 3) << "victim=" << v;
+}
+
+TEST(NmruPolicy, NeverEvictsMostRecentlyUsed) {
+  auto p = make_replacement(ReplacementKind::kNmru, 1, 4, test_rng(55));
+  p->touch(0, 2);
+  for (int i = 0; i < 500; ++i) EXPECT_NE(p->victim(0), 2u);
+  p->touch(0, 0);
+  for (int i = 0; i < 500; ++i) EXPECT_NE(p->victim(0), 0u);
+}
+
+TEST(NmruPolicy, SingleWayDegeneratesToWayZero) {
+  auto p = make_replacement(ReplacementKind::kNmru, 1, 1, test_rng(5));
+  EXPECT_EQ(p->victim(0), 0u);
+}
+
+class EveryPolicy : public ::testing::TestWithParam<ReplacementKind> {};
+
+TEST_P(EveryPolicy, VictimAlwaysInRange) {
+  const std::uint32_t ways = 4;
+  auto p = make_replacement(GetParam(), 8, ways, test_rng(99));
+  for (std::uint32_t set = 0; set < 8; ++set) {
+    for (int i = 0; i < 100; ++i) {
+      p->touch(set, static_cast<std::uint32_t>(i % ways));
+      EXPECT_LT(p->victim(set), ways);
+    }
+  }
+}
+
+TEST_P(EveryPolicy, NameIsNonEmpty) {
+  auto p = make_replacement(GetParam(), 1, 2, test_rng());
+  EXPECT_FALSE(p->name().empty());
+  EXPECT_EQ(p->name(), to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EveryPolicy,
+                         ::testing::Values(ReplacementKind::kLru,
+                                           ReplacementKind::kFifo,
+                                           ReplacementKind::kRandom,
+                                           ReplacementKind::kPlru,
+                                           ReplacementKind::kNmru),
+                         [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace tsc::cache

@@ -1,0 +1,195 @@
+// Tests for the memory hierarchy and machine model (sim/).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/machine.h"
+
+namespace tsc::sim {
+namespace {
+
+constexpr ProcId kP1{1};
+
+std::shared_ptr<rng::Rng> test_rng(std::uint64_t seed = 11) {
+  return std::make_shared<rng::XorShift64Star>(seed);
+}
+
+HierarchyConfig small_config(bool with_l2 = true) {
+  HierarchyConfig cfg;
+  cfg.l1i.config.geometry = cache::Geometry(1024, 2, 32);  // 16 sets
+  cfg.l1d.config.geometry = cache::Geometry(1024, 2, 32);
+  if (with_l2) {
+    cache::CacheSpec l2;
+    l2.config.geometry = cache::Geometry(8192, 4, 32);
+    cfg.l2 = l2;
+  } else {
+    cfg.l2.reset();
+  }
+  return cfg;
+}
+
+TEST(HierarchyTest, MissLatencyAccumulatesThroughLevels) {
+  Hierarchy h(small_config(), test_rng());
+  const LatencyConfig& lat = h.latency();
+  // Cold: L1 miss + L2 miss -> full memory latency.
+  const HierarchyResult cold = h.access(Port::kData, kP1, 0x1000, false);
+  EXPECT_FALSE(cold.l1_hit);
+  EXPECT_FALSE(cold.l2_hit);
+  EXPECT_EQ(cold.latency, lat.l1_hit + lat.l2_hit + lat.memory);
+  // Warm: L1 hit.
+  const HierarchyResult warm = h.access(Port::kData, kP1, 0x1000, false);
+  EXPECT_TRUE(warm.l1_hit);
+  EXPECT_EQ(warm.latency, lat.l1_hit);
+}
+
+TEST(HierarchyTest, L2CatchesL1Evictions) {
+  Hierarchy h(small_config(), test_rng());
+  // Two lines conflicting in the 2-way L1 set 0, plus a third: L1 evicts,
+  // but L2 (larger) still holds the line.
+  const Addr a = 0x0000;
+  const Addr b = 0x0200;  // 16 sets * 32B = 512B stride -> same L1 set
+  const Addr c = 0x0400;
+  (void)h.access(Port::kData, kP1, a, false);
+  (void)h.access(Port::kData, kP1, b, false);
+  (void)h.access(Port::kData, kP1, c, false);  // evicts a from L1
+  const HierarchyResult r = h.access(Port::kData, kP1, a, false);
+  EXPECT_FALSE(r.l1_hit);
+  EXPECT_TRUE(r.l2_hit) << "line must still be in L2";
+  EXPECT_EQ(r.latency, h.latency().l1_hit + h.latency().l2_hit);
+}
+
+TEST(HierarchyTest, NoL2GoesStraightToMemory) {
+  Hierarchy h(small_config(false), test_rng());
+  EXPECT_FALSE(h.has_l2());
+  const HierarchyResult cold = h.access(Port::kData, kP1, 0x40, false);
+  EXPECT_EQ(cold.latency, h.latency().l1_hit + h.latency().memory);
+}
+
+TEST(HierarchyTest, InstructionAndDataCachesAreSplit) {
+  Hierarchy h(small_config(), test_rng());
+  (void)h.access(Port::kInstruction, kP1, 0x40, false);
+  // The same address through the data port must not hit in L1D.
+  const HierarchyResult r = h.access(Port::kData, kP1, 0x40, false);
+  EXPECT_FALSE(r.l1_hit);
+  EXPECT_TRUE(r.l2_hit) << "unified L2 serves both ports";
+}
+
+TEST(HierarchyTest, FlushAllReportsLineCount) {
+  Hierarchy h(small_config(), test_rng());
+  (void)h.access(Port::kData, kP1, 0x40, false);
+  (void)h.access(Port::kInstruction, kP1, 0x80, false);
+  // 2 L1 lines + 2 L2 lines.
+  EXPECT_EQ(h.flush_all(), 4u);
+  EXPECT_FALSE(h.access(Port::kData, kP1, 0x40, false).l1_hit);
+}
+
+TEST(HierarchyTest, PerLevelSeedsAreIndependent) {
+  HierarchyConfig cfg = small_config();
+  cfg.l1d.mapper = cache::MapperKind::kRandomModulo;
+  cfg.l2->mapper = cache::MapperKind::kHashRp;
+  Hierarchy h(cfg, test_rng());
+  h.set_seed(kP1, Seed{42});
+  const Seed l1d_seed = h.l1d().seed(kP1);
+  const Seed l2_seed = h.l2().seed(kP1);
+  EXPECT_NE(l1d_seed, l2_seed)
+      << "levels must not share the raw master seed";
+}
+
+TEST(MachineTest, SingleInstructionCosts) {
+  Machine m(small_config(), test_rng());
+  const LatencyConfig& lat = m.latency();
+  // Cold fetch: 1 issue cycle + full miss stall.
+  m.instr(0x100);
+  EXPECT_EQ(m.now(), 1 + lat.l2_hit + lat.memory);
+  // Warm fetch: exactly one cycle.
+  const Cycles before = m.now();
+  m.instr(0x100);
+  EXPECT_EQ(m.now() - before, 1u);
+}
+
+TEST(MachineTest, LoadAddsDataLatency) {
+  Machine m(small_config(), test_rng());
+  m.instr(0x100);  // warm the I-line
+  const LatencyConfig& lat = m.latency();
+  const Cycles before = m.now();
+  m.load(0x100, 0x2000);  // warm fetch, cold data
+  EXPECT_EQ(m.now() - before, 1 + lat.l2_hit + lat.memory);
+  const Cycles before2 = m.now();
+  m.load(0x100, 0x2000);  // all warm: 1 cycle
+  EXPECT_EQ(m.now() - before2, 1u);
+  EXPECT_EQ(m.stats().loads, 2u);
+}
+
+TEST(MachineTest, TakenBranchPaysPenalty) {
+  Machine m(small_config(), test_rng());
+  m.instr(0x100);
+  const Cycles before = m.now();
+  m.branch(0x100, false);
+  const Cycles not_taken = m.now() - before;
+  m.branch(0x100, true);
+  const Cycles taken = m.now() - before - not_taken;
+  EXPECT_EQ(taken - not_taken, m.latency().branch_penalty);
+  EXPECT_EQ(m.stats().branches, 2u);
+  EXPECT_EQ(m.stats().taken_branches, 1u);
+}
+
+TEST(MachineTest, InstrBlockFetchesSequential) {
+  Machine m(small_config(), test_rng());
+  m.instr_block(0x200, 8);  // 8 instrs, 4B each = one 32B line
+  EXPECT_EQ(m.stats().instructions, 8u);
+  // One cold fetch miss + 7 warm fetches.
+  const LatencyConfig& lat = m.latency();
+  EXPECT_EQ(m.now(), 8 + lat.l2_hit + lat.memory);
+}
+
+TEST(MachineTest, SeedChangeDrainsAndCosts) {
+  Machine m(small_config(), test_rng());
+  const Cycles before = m.now();
+  m.set_seed(kP1, Seed{7});
+  const LatencyConfig& lat = m.latency();
+  // drain + 3 levels of seed-register updates.
+  EXPECT_EQ(m.now() - before, lat.drain_cost() + 3 * lat.seed_update);
+  EXPECT_EQ(m.stats().seed_changes, 1u);
+  EXPECT_EQ(m.stats().drains, 1u);
+}
+
+TEST(MachineTest, FlushCostsPerLine) {
+  Machine m(small_config(), test_rng());
+  m.load(0x100, 0x2000);  // 2 L1 lines (I+D) + 2 L2 lines
+  const Cycles before = m.now();
+  m.flush_caches();
+  EXPECT_EQ(m.now() - before, 4 * m.latency().flush_per_line);
+  EXPECT_EQ(m.stats().flushes, 1u);
+}
+
+TEST(MachineTest, ProcessSelectionTagsOwnership) {
+  Machine m(small_config(), test_rng());
+  m.set_process(ProcId{5});
+  EXPECT_EQ(m.process(), ProcId{5});
+  m.load(0x100, 0x2000);
+  EXPECT_TRUE(m.hierarchy().l1d().contains(ProcId{5}, 0x2000));
+}
+
+TEST(MachineTest, AdvanceMovesTimeWithoutEvents) {
+  Machine m(small_config(), test_rng());
+  m.advance(100);
+  EXPECT_EQ(m.now(), 100u);
+  EXPECT_EQ(m.stats().instructions, 0u);
+}
+
+TEST(Arm920tConfig, MatchesPaperPlatform) {
+  const HierarchyConfig cfg = arm920t_config(cache::MapperKind::kRandomModulo,
+                                             cache::MapperKind::kHashRp,
+                                             cache::ReplacementKind::kRandom);
+  EXPECT_EQ(cfg.l1i.config.geometry.size_bytes(), 16u * 1024u);
+  EXPECT_EQ(cfg.l1i.config.geometry.sets(), 128u);
+  EXPECT_EQ(cfg.l1d.config.geometry.ways(), 4u);
+  ASSERT_TRUE(cfg.l2.has_value());
+  EXPECT_EQ(cfg.l2->config.geometry.size_bytes(), 256u * 1024u);
+  EXPECT_EQ(cfg.l2->config.geometry.sets(), 2048u);
+  EXPECT_EQ(cfg.l1i.mapper, cache::MapperKind::kRandomModulo);
+  EXPECT_EQ(cfg.l2->mapper, cache::MapperKind::kHashRp);
+}
+
+}  // namespace
+}  // namespace tsc::sim

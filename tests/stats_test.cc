@@ -1,0 +1,269 @@
+// Tests for the statistics library: descriptive stats, special functions,
+// hypothesis tests (Ljung-Box, KS, chi-square) and correlations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/special.h"
+#include "stats/tests.h"
+
+namespace tsc::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceKnownValues) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // unbiased: SS=32, n-1=7
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(min(xs), 2.0);
+  EXPECT_DOUBLE_EQ(max(xs), 9.0);
+}
+
+TEST(Descriptive, QuantileInterpolation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.3), 7.0);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  const std::vector<double> xs{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Descriptive, AutocorrelationOfAlternatingSeries) {
+  // x = +1,-1,+1,-1...: lag-1 autocorrelation tends to -1.
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(autocorrelation(xs, 1), -1.0, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 2), 1.0, 0.02);
+}
+
+TEST(Descriptive, AutocorrelationOfConstantSeriesIsZero) {
+  const std::vector<double> xs(100, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+}
+
+TEST(Descriptive, SummaryFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_GT(s.p99, s.p75);
+  EXPECT_GT(s.p75, s.p25);
+}
+
+// --- special functions -----------------------------------------------------
+
+TEST(Special, GammaPAgainstKnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(gamma_p(1.0, 5.0), 1.0 - std::exp(-5.0), 1e-10);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(gamma_p(0.5, 0.25), std::erf(0.5), 1e-10);
+  EXPECT_NEAR(gamma_p(0.5, 4.0), std::erf(2.0), 1e-10);
+  // Complement.
+  EXPECT_NEAR(gamma_p(3.0, 2.0) + gamma_q(3.0, 2.0), 1.0, 1e-12);
+}
+
+TEST(Special, Chi2CdfKnownValues) {
+  // k=2: CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(chi2_cdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-10);
+  // Median of chi2(1) is ~0.4549.
+  EXPECT_NEAR(chi2_cdf(0.4549, 1.0), 0.5, 1e-3);
+  // 95th percentile of chi2(20) is 31.410 (the Ljung-Box critical value the
+  // paper's alpha = 0.05, 20-lag test uses).
+  EXPECT_NEAR(chi2_cdf(31.410, 20.0), 0.95, 1e-3);
+  EXPECT_NEAR(chi2_sf(31.410, 20.0), 0.05, 1e-3);
+}
+
+TEST(Special, KolmogorovQKnownValues) {
+  // Q(0) = 1, decreasing, known points from tables.
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(0.5), 0.9639, 2e-3);
+  EXPECT_NEAR(kolmogorov_q(1.0), 0.2700, 2e-3);
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.0505, 2e-3);  // the 5% critical point
+  EXPECT_LT(kolmogorov_q(2.5), 1e-4);
+}
+
+TEST(Special, NormalCdf) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.959964), 0.975, 1e-5);
+  EXPECT_NEAR(normal_cdf(-1.959964), 0.025, 1e-5);
+}
+
+// --- hypothesis tests --------------------------------------------------------
+
+TEST(LjungBox, WhiteNoisePasses) {
+  rng::Pcg32 g(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(g.next_double());
+  const TestResult r = ljung_box(xs, 20);
+  EXPECT_TRUE(r.passed(0.05)) << "Q=" << r.statistic << " p=" << r.p_value;
+  EXPECT_EQ(r.dof, 20u);
+}
+
+TEST(LjungBox, Ar1ProcessFails) {
+  // x_t = 0.6 x_{t-1} + e_t is strongly autocorrelated.
+  rng::Pcg32 g(12);
+  std::vector<double> xs{0.0};
+  for (int i = 1; i < 2000; ++i) {
+    xs.push_back(0.6 * xs.back() + (g.next_double() - 0.5));
+  }
+  const TestResult r = ljung_box(xs, 20);
+  EXPECT_FALSE(r.passed(0.05)) << "an AR(1) series must fail independence";
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTwoSample, SameDistributionPasses) {
+  rng::Pcg32 a(21);
+  rng::Pcg32 b(22);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 1500; ++i) {
+    xs.push_back(a.next_double());
+    ys.push_back(b.next_double());
+  }
+  EXPECT_TRUE(ks_two_sample(xs, ys).passed(0.05));
+}
+
+TEST(KsTwoSample, ShiftedDistributionFails) {
+  rng::Pcg32 a(23);
+  rng::Pcg32 b(24);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 1500; ++i) {
+    xs.push_back(a.next_double());
+    ys.push_back(b.next_double() + 0.15);
+  }
+  const TestResult r = ks_two_sample(xs, ys);
+  EXPECT_FALSE(r.passed(0.05));
+  EXPECT_GT(r.statistic, 0.1);
+}
+
+TEST(KsTwoSample, IdenticalSamplesStatZero) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const TestResult r = ks_two_sample(xs, xs);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Chi2Uniform, UniformCountsPass) {
+  const std::vector<std::size_t> counts(16, 1000);
+  EXPECT_TRUE(chi2_uniform(counts).passed(0.05));
+}
+
+TEST(Chi2Uniform, SkewedCountsFail) {
+  std::vector<std::size_t> counts(16, 1000);
+  counts[3] = 2000;
+  EXPECT_FALSE(chi2_uniform(counts).passed(0.05));
+}
+
+TEST(IidCheck, UniformNoisePassesBothTests) {
+  rng::Pcg32 g(33);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(g.next_double());
+  const IidVerdict v = iid_check(xs);
+  EXPECT_TRUE(v.independence.passed(0.05));
+  EXPECT_TRUE(v.identical.passed(0.05));
+  EXPECT_TRUE(v.passed());
+}
+
+TEST(IidCheck, TrendingSeriesFailsIdenticalDistribution) {
+  // A drifting mean: first half differs from second half.
+  rng::Pcg32 g(34);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(g.next_double() + (i < 500 ? 0.0 : 0.5));
+  }
+  const IidVerdict v = iid_check(xs);
+  EXPECT_FALSE(v.passed());
+}
+
+// --- correlations ------------------------------------------------------------
+
+TEST(Correlation, PerfectLinear) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectAntiLinear) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+  EXPECT_NEAR(spearman(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  rng::Pcg32 a(41);
+  rng::Pcg32 b(42);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(a.next_double());
+    ys.push_back(b.next_double());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+  EXPECT_NEAR(spearman(xs, ys), 0.0, 0.05);
+}
+
+TEST(Correlation, ConstantInputGivesZero) {
+  const std::vector<double> xs{1, 1, 1, 1};
+  const std::vector<double> ys{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Correlation, SpearmanRobustToMonotoneTransform) {
+  // Pearson degrades under x^3; Spearman stays exactly 1.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(static_cast<double>(i) * i * i);
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const std::vector<double> ys{1, 2, 2, 3};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+// --- histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(50.0);   // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(HistogramTest, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsc::stats

@@ -1,0 +1,124 @@
+// Tests for the synthetic workload generators (sim/workload.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "sim/workload.h"
+
+namespace tsc::sim {
+namespace {
+
+constexpr ProcId kP1{1};
+
+Machine make_machine(std::uint64_t seed = 3) {
+  HierarchyConfig cfg;
+  cfg.l1i.config.geometry = cache::Geometry(4096, 2, 32);
+  cfg.l1d.config.geometry = cache::Geometry(4096, 2, 32);
+  cache::CacheSpec l2;
+  l2.config.geometry = cache::Geometry(64 * 1024, 4, 32);
+  cfg.l2 = l2;
+  return Machine(cfg, std::make_shared<rng::XorShift64Star>(seed));
+}
+
+TEST(WorkloadGen, SequentialCoversDistinctLines) {
+  const Trace t = make_sequential(0x1000, 100, 32);
+  ASSERT_EQ(t.addresses.size(), 100u);
+  std::set<Addr> lines(t.addresses.begin(), t.addresses.end());
+  EXPECT_EQ(lines.size(), 100u);
+  EXPECT_EQ(t.addresses.front(), 0x1000u);
+  EXPECT_EQ(t.addresses.back(), 0x1000u + 99 * 32);
+}
+
+TEST(WorkloadGen, StridedWrapsAtWindow) {
+  const Trace t = make_strided(0x2000, 10, 256, 1024);
+  for (const Addr a : t.addresses) {
+    EXPECT_GE(a, 0x2000u);
+    EXPECT_LT(a, 0x2000u + 1024u);
+  }
+  EXPECT_EQ(t.addresses[0], 0x2000u);
+  EXPECT_EQ(t.addresses[4], 0x2000u) << "stride 256 wraps a 1KB window in 4";
+}
+
+TEST(WorkloadGen, UniformIsDeterministicPerSeed) {
+  const Trace a = make_uniform(0, 500, 4096, 7);
+  const Trace b = make_uniform(0, 500, 4096, 7);
+  const Trace c = make_uniform(0, 500, 4096, 8);
+  EXPECT_EQ(a.addresses, b.addresses);
+  EXPECT_NE(a.addresses, c.addresses);
+}
+
+TEST(WorkloadGen, ZipfSkewsTowardHotLines) {
+  const Trace t = make_zipf(0, 20000, 64, 1.1, 5);
+  std::map<Addr, int> counts;
+  for (const Addr a : t.addresses) ++counts[a];
+  // Rank-1 line must be touched far more often than a mid-rank line.
+  EXPECT_GT(counts[0], 10 * counts[32 * 31]);
+  // But the tail must still be present.
+  EXPECT_GT(counts.size(), 48u);
+}
+
+TEST(WorkloadGen, ZipfAlphaControlsSkew) {
+  const Trace mild = make_zipf(0, 20000, 64, 0.5, 5);
+  const Trace steep = make_zipf(0, 20000, 64, 1.5, 5);
+  const auto hot_share = [](const Trace& t) {
+    std::size_t hot = 0;
+    for (const Addr a : t.addresses) hot += a == 0 ? 1 : 0;
+    return static_cast<double>(hot) / t.addresses.size();
+  };
+  EXPECT_GT(hot_share(steep), 2 * hot_share(mild));
+}
+
+TEST(WorkloadGen, PointerChaseVisitsEveryLineBeforeRepeating) {
+  const std::uint32_t lines = 50;
+  const Trace t = make_pointer_chase(0, lines, lines, 11);
+  std::set<Addr> seen(t.addresses.begin(), t.addresses.end());
+  EXPECT_EQ(seen.size(), lines)
+      << "Sattolo single-cycle permutation must cover all lines";
+}
+
+TEST(RunTrace, SequentialStreamingMissesOncePerLine) {
+  auto m = make_machine();
+  const Trace t = make_sequential(0x10000, 64, 32);
+  const TraceResult r = run_trace(m, kP1, t);
+  EXPECT_EQ(r.accesses, 64u);
+  EXPECT_NEAR(r.l1d_miss_rate, 1.0, 1e-9) << "every line is new";
+  // Replay: the 2KB footprint fits the 4KB L1.
+  const TraceResult warm = run_trace(m, kP1, t);
+  EXPECT_NEAR(warm.l1d_miss_rate, 0.0, 1e-9);
+  EXPECT_LT(warm.cycles, r.cycles);
+}
+
+TEST(RunTrace, CapacityThrashRaisesMissRate) {
+  auto m = make_machine();
+  // 16KB uniform window against a 4KB L1: mostly misses even warm.
+  const Trace t = make_uniform(0x20000, 4000, 16 * 1024, 13);
+  (void)run_trace(m, kP1, t);
+  const TraceResult warm = run_trace(m, kP1, t);
+  EXPECT_GT(warm.l1d_miss_rate, 0.5);
+  EXPECT_LT(warm.l2_miss_rate, 0.2) << "the 64KB L2 absorbs the window";
+}
+
+TEST(RunTrace, ZipfHotSetMostlyHitsAfterWarmup) {
+  auto m = make_machine();
+  const Trace t = make_zipf(0x30000, 8000, 512, 1.2, 17);
+  (void)run_trace(m, kP1, t);
+  const TraceResult warm = run_trace(m, kP1, t);
+  EXPECT_LT(warm.l1d_miss_rate, 0.45)
+      << "skewed reuse must be exploitable by the cache";
+}
+
+TEST(RunTrace, ResetsStatsPerRun) {
+  auto m = make_machine();
+  const Trace t = make_sequential(0x40000, 32, 32);
+  (void)run_trace(m, kP1, t);
+  const TraceResult r2 = run_trace(m, kP1, t);
+  EXPECT_EQ(r2.accesses, 32u);
+  EXPECT_LE(m.hierarchy().l1d().stats().accesses, 2 * 32u)
+      << "stats must not accumulate across run_trace calls";
+}
+
+}  // namespace
+}  // namespace tsc::sim
