@@ -1,114 +1,13 @@
-// Ablation A3 - cache partitioning, the related-work alternative the paper
-// weighs and rejects (section 7): "cache partitioning has been proposed to
-// solve both contention-based SCA and to achieve time predictability.  [...]
-// However, cache partitioning severely limits the effectiveness of shared
-// caches [...] affecting both performance and the ability to share data."
+// Ablation A3 - way-partitioning vs TSCache (paper section 7):
+// isolation kills the attack but costs associativity.
 //
-// We give victim and attacker disjoint L1D way-partitions on the otherwise
-// vulnerable deterministic cache and measure (a) Prime+Probe inference
-// accuracy - isolation must kill the attack - and (b) the victim's miss
-// rate on a working set sized for the full cache - the price of halved
-// associativity, which TSCache does not pay.
-//
-// The TSCache rows double as a reseeding ablation: with per-process seeds
-// but NO reseeding, a calibrating attacker still learns the fixed
-// secret->observable map empirically; only the paper's "random and
-// independent across runs" reseeding drives it to chance.
-#include <cstdio>
-#include <functional>
-#include <memory>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "ablation_partitioning" and shared with the tsc_run driver,
+// so `bench_ablation_partitioning [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment ablation_partitioning ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "attack/contention.h"
-#include "bench_util.h"
-#include "core/setup.h"
-#include "isa/interpreter.h"
-#include "isa/kernels.h"
-
-namespace {
-
-using namespace tsc;
-
-constexpr ProcId kVictim{1};
-constexpr ProcId kAttacker{2};
-
-using Configure = std::function<void(core::Setup&)>;
-
-double prime_probe_accuracy(core::SetupKind kind, const Configure& configure,
-                            bool reseed_per_trial) {
-  core::Setup setup(kind, 77);
-  setup.register_process(kVictim);
-  setup.register_process(kAttacker);
-  configure(setup);
-  setup.set_hyperperiod_jobs(1);
-
-  std::uint64_t job = 0;
-  const attack::TrialHook hook = [&] {
-    if (!reseed_per_trial) return;
-    setup.before_job(kVictim, job);
-    setup.before_job(kAttacker, job);
-    ++job;
-  };
-
-  attack::ContentionConfig cfg;
-  cfg.candidates = 32;
-  cfg.trials = static_cast<unsigned>(bench::campaign_samples(192));
-  rng::XorShift64Star rng(4321);
-  return attack::run_prime_probe(setup.machine(), kVictim, kAttacker, cfg,
-                                 rng, hook)
-      .accuracy();
-}
-
-double victim_miss_rate(core::SetupKind kind, const Configure& configure) {
-  core::Setup setup(kind, 78);
-  setup.register_process(kVictim);
-  configure(setup);
-  sim::Machine& m = setup.machine();
-  m.set_process(kVictim);
-  isa::Interpreter interp(m);
-  // Working set sized for the FULL cache: fits in 4 ways, thrashes in 2.
-  interp.load_program(isa::assemble(
-      isa::stride_walk_source(0x300000, 8192, 32, 16 * 1024), 0x310000));
-  (void)interp.run(0x310000, 50'000'000);
-  return m.hierarchy().l1d().stats().miss_rate();
-}
-
-void report(const char* label, core::SetupKind kind,
-            const Configure& configure, bool reseed) {
-  const double acc = prime_probe_accuracy(kind, configure, reseed);
-  const double miss = victim_miss_rate(kind, configure);
-  std::printf("%-28s %13.1f%% %15.2f%%\n", label, 100 * acc, 100 * miss);
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Ablation: way-partitioning vs TSCache (paper section 7)",
-                "isolation kills the attack but costs associativity");
-
-  std::printf("%-28s %14s %16s\n", "configuration", "prime+probe",
-              "victim L1D miss");
-
-  const Configure none = [](core::Setup&) {};
-  const Configure partition = [](core::Setup& setup) {
-    setup.machine().hierarchy().l1d().set_way_partition(kVictim, 0, 2);
-    setup.machine().hierarchy().l1d().set_way_partition(kAttacker, 2, 2);
-  };
-
-  report("deterministic", core::SetupKind::kDeterministic, none, false);
-  report("deterministic+partition", core::SetupKind::kDeterministic,
-         partition, false);
-  report("TSCache (no reseed)", core::SetupKind::kTsCache, none, false);
-  report("TSCache (reseed per run)", core::SetupKind::kTsCache, none, true);
-
-  std::printf(
-      "\nExpected shape: partitioning drops Prime+Probe to chance (~3%%)\n"
-      "but multiplies the victim's miss rate on working sets sized for the\n"
-      "full cache.  TSCache with per-run reseeding reaches the same\n"
-      "chance-level security at full associativity (its modest miss-rate\n"
-      "delta comes from random placement, not from losing capacity).  The\n"
-      "no-reseed row shows why the paper insists conflicts be 'random and\n"
-      "independent across runs': with any FIXED layouts - even different\n"
-      "ones per process - a calibrating attacker partially relearns the\n"
-      "secret->observable map.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("ablation_partitioning", argc, argv);
 }

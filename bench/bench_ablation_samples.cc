@@ -1,42 +1,12 @@
-// Ablation A2 - attack strength vs number of timing samples (section 6.1.1
-// used 1e7 samples per side; how does leakage scale below that?).
+// Ablation A2 - attack strength vs per-side sample count.
 //
-// Sweeps the per-side sample count on the deterministic setup and on
-// TSCache.  The deterministic cache's disclosed bits grow with samples (the
-// correlation estimator sharpens as cell noise shrinks ~ 1/sqrt(n)); TSCache
-// must stay at zero disclosure at every scale - security that only holds
-// below some sampling budget is not security.
-#include <cstdio>
-#include <vector>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "ablation_samples" and shared with the tsc_run driver,
+// so `bench_ablation_samples [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment ablation_samples ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "core/campaign.h"
-
-int main() {
-  using namespace tsc;
-  bench::banner("Ablation: attack strength vs sample count",
-                "Bernstein campaign at increasing per-side samples");
-
-  const std::vector<std::size_t> sweep{25'000, 50'000, 100'000, 200'000};
-  std::printf("%-12s %-14s %12s %16s %10s\n", "samples", "setup", "bits-det",
-              "effective-bits", "deceived");
-
-  for (const std::size_t samples : sweep) {
-    for (const core::SetupKind kind :
-         {core::SetupKind::kDeterministic, core::SetupKind::kTsCache}) {
-      core::CampaignConfig cfg;
-      cfg.samples = samples;
-      const core::CampaignResult r = core::run_bernstein_campaign(kind, cfg);
-      std::printf("%-12zu %-14s %12.1f %16.1f %10d\n", samples,
-                  core::to_string(kind).c_str(), r.attack.bits_determined(),
-                  r.attack.effective_log2_keyspace(),
-                  r.attack.deceived_bytes());
-    }
-  }
-
-  std::printf(
-      "\nExpected shape: deterministic bits-determined grows with samples\n"
-      "(Bernstein needed 1e7+ on noisy real hardware, far fewer here);\n"
-      "TSCache stays at 128 effective bits at every scale.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("ablation_samples", argc, argv);
 }

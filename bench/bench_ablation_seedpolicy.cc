@@ -1,64 +1,12 @@
-// Ablation A1 - seed-change granularity (the design space of section 5).
+// Ablation A1 - seed-change granularity (the section 5 spectrum).
 //
-// The paper describes a spectrum: "On one extreme of the spectrum the seed
-// is (randomly) set once before the execution of the first job of a task.
-// On the other extreme the seed is changed right before every job release."
-// This ablation sweeps the TSCache hyperperiod length (jobs between reseeds)
-// and reports (a) what the Bernstein attack still extracts and (b) the mean
-// per-encryption time - the security/overhead trade-off of reseeding.
-//
-// It also documents a finding of this reproduction: at *small* sample counts
-// very frequent reseeding re-opens a layout-independent cache-collision
-// channel (cold-start misses depend only on the AES index trace - the
-// Bonneau-Mironov effect, paper ref [8]), visible as nonzero significant
-// counts at hyperperiod 1 that vanish as the flush amortizes.
-#include <cstdio>
-#include <vector>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "ablation_seedpolicy" and shared with the tsc_run driver,
+// so `bench_ablation_seedpolicy [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment ablation_seedpolicy ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "core/campaign.h"
-
-int main() {
-  using namespace tsc;
-  bench::banner("Ablation: seed-change granularity (section 5 spectrum)",
-                "TSCache hyperperiod sweep: leakage vs overhead");
-
-  core::CampaignConfig cfg;
-  cfg.samples = bench::campaign_samples(100'000);
-  std::printf("samples per side: %zu\n\n", cfg.samples);
-
-  std::printf("%-22s %12s %16s %14s %12s\n", "reseed every (jobs)", "bits-det",
-              "effective-bits", "mean cycles", "sig-bytes");
-
-  const std::vector<std::uint64_t> hyperperiods{
-      1, 64, 1024, 8192, std::uint64_t{1} << 40};
-  for (const std::uint64_t hp : hyperperiods) {
-    core::CampaignConfig c = cfg;
-    c.hyperperiod_jobs = hp;
-    const core::CampaignResult r =
-        core::run_bernstein_campaign(core::SetupKind::kTsCache, c);
-    int significant = 0;
-    for (int i = 0; i < 16; ++i) {
-      if (r.attack.bytes[i].significant_count > 0) ++significant;
-    }
-    char label[32];
-    if (hp >= (std::uint64_t{1} << 40)) {
-      std::snprintf(label, sizeof label, "never");
-    } else {
-      std::snprintf(label, sizeof label, "%llu",
-                    static_cast<unsigned long long>(hp));
-    }
-    std::printf("%-22s %12.1f %16.1f %14.1f %12d\n", label,
-                r.attack.bits_determined(),
-                r.attack.effective_log2_keyspace(),
-                r.victim.profile.global_mean(), significant);
-  }
-
-  std::printf(
-      "\nExpected shape: every granularity keeps the contention channel\n"
-      "closed (the attacker never shares the victim's layout), so\n"
-      "effective bits stay at/near 128 throughout; mean time rises as\n"
-      "reseeds become more frequent (flush + cold misses) - the paper's\n"
-      "reason to reseed per hyperperiod, not per job.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("ablation_seedpolicy", argc, argv);
 }

@@ -1,57 +1,13 @@
 // Experiment E1 - paper Figure 1 (right): an example pWCET curve.
+// MBPTA protocol: per-run random layouts -> i.i.d. check -> EVT projection.
 //
-// MBPTA protocol: run the task many times, each run under a fresh random
-// cache layout (section 2.1); validate i.i.d.; project the tail with EVT;
-// print the exceedance-probability -> execution-time-bound curve down to
-// 1e-15 per run.  The paper's example reads "the probability of the task
-// exceeding 7ms is below 1e-10 per run"; ours prints the analogous bound in
-// cycles for a TSISA kernel on the TSCache platform.
-#include <algorithm>
-#include <cstdio>
-#include <vector>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "fig1" and shared with the tsc_run driver,
+// so `bench_fig1_pwcet [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment fig1 ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "core/setup.h"
-#include "isa/interpreter.h"
-#include "isa/kernels.h"
-#include "mbpta/analysis.h"
-
-int main() {
-  using namespace tsc;
-  bench::banner("Figure 1: MBPTA process and pWCET curve",
-                "per-run random layouts -> i.i.d. check -> EVT projection");
-
-  const std::size_t runs =
-      std::max<std::size_t>(400, bench::campaign_samples(1000));
-  std::printf("runs: %zu  task: second pass over a 20KB vector-sum\n\n", runs);
-
-  std::vector<double> times;
-  times.reserve(runs);
-  for (std::size_t r = 0; r < runs; ++r) {
-    core::Setup setup(core::SetupKind::kTsCache, rng::derive_seed(2018, r));
-    setup.register_process(ProcId{1});
-    setup.machine().set_process(ProcId{1});
-    isa::Interpreter interp(setup.machine());
-    interp.load_program(
-        isa::assemble(isa::vector_sum_source(0x40000, 5120), 0x1000));
-    (void)interp.run(0x1000);  // warm pass
-    const isa::RunResult result = interp.run(0x1000);
-    times.push_back(static_cast<double>(result.cycles));
-  }
-
-  for (const auto tail :
-       {stats::TailModel::kGumbelBlockMaxima, stats::TailModel::kGpdPot}) {
-    mbpta::AnalysisConfig cfg;
-    cfg.tail = tail;
-    const mbpta::AnalysisReport report = mbpta::analyze(times, cfg);
-    std::printf("--- tail model: %s ---\n",
-                tail == stats::TailModel::kGumbelBlockMaxima
-                    ? "Gumbel on block maxima"
-                    : "GPD peaks-over-threshold");
-    std::printf("%s\n", mbpta::render_report(report).c_str());
-  }
-
-  std::printf("Expected shape (paper Fig. 1): a monotone curve; the bound at\n"
-              "1e-10 exceeds every observed time by a modest margin.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("fig1", argc, argv);
 }

@@ -1,97 +1,13 @@
-// Experiment E2 - paper Figure 2: the hashRP and RM cache architectures.
+// Experiment E2 - paper Figure 2: hashRP / RM placement properties
+// (mbpta-p2 / mbpta-p3 validation per design).
 //
-// Figure 2 is structural; what can (and must) be validated is that the two
-// placement functions implement the properties sections 2.1 and 4 claim:
-//
-//   hashRP: Full Randomness (mbpta-p2) - placement uniform across seeds;
-//           any address pair collides under some seeds and not others.
-//   RM:     Partial APOP-fixed Randomness (mbpta-p3) - same-page lines never
-//           collide; cross-page behaviour is fully random; placement uniform.
-//   XOR-index (Aciiçmez): included as the negative control - its conflict
-//           structure is seed-invariant (the section 3 analysis).
-//
-// Printed: chi-square uniformity p-values, same-page conflict counts, and
-// pair-collision seed-sensitivity rates per design.
-#include <cstdio>
-#include <memory>
-#include <set>
-#include <vector>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "fig2" and shared with the tsc_run driver,
+// so `bench_fig2_placement [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment fig2 ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "cache/placement.h"
-#include "stats/tests.h"
-
-int main() {
-  using namespace tsc;
-  using cache::PlacementKind;
-  bench::banner("Figure 2: hashRP and RM placement properties",
-                "mbpta-p2 / mbpta-p3 validation per design");
-
-  const cache::Geometry l1 = cache::l1_geometry_arm920t();
-  const unsigned kSeeds = 512;
-  const unsigned kPairs = 256;
-
-  std::printf("%-14s %12s %16s %18s\n", "placement", "uniform-p",
-              "samepage-confl", "pair-seed-sens");
-  for (const PlacementKind kind :
-       {PlacementKind::kModulo, PlacementKind::kXorIndex,
-        PlacementKind::kHashRp, PlacementKind::kRandomModulo}) {
-    const auto p = cache::make_placement(kind, l1);
-
-    // Uniformity of one line's placement across many seeds.
-    std::vector<std::size_t> counts(l1.sets(), 0);
-    for (unsigned s = 0; s < l1.sets() * 100; ++s) {
-      ++counts[p->set_index(0x4D5A1, Seed{0xA5A5000 + s})];
-    }
-    const auto uniform = stats::chi2_uniform(counts);
-
-    // Same-page conflicts: lines sharing a tag (way size == page size).
-    std::size_t same_page_conflicts = 0;
-    for (unsigned s = 0; s < 64; ++s) {
-      std::set<std::uint32_t> sets;
-      for (Addr i = 0; i < l1.sets(); ++i) {
-        sets.insert(p->set_index((0x77ULL << l1.index_bits()) | i,
-                                 Seed{0xBEE0 + s * 7919}));
-      }
-      same_page_conflicts += l1.sets() - sets.size();
-    }
-
-    // Pair collision seed-sensitivity: fraction of address pairs that both
-    // collide under some seed AND split under another.
-    unsigned sensitive = 0;
-    for (unsigned pair = 0; pair < kPairs; ++pair) {
-      const Addr a = 0x10000 + pair * 7;
-      const Addr b = 0x90000 + pair * 13;
-      bool collide = false;
-      bool split = false;
-      for (unsigned s = 0; s < kSeeds && !(collide && split); ++s) {
-        const Seed seed{0xC0FFEE00 + s * 104729};
-        if (p->set_index(a, seed) == p->set_index(b, seed)) {
-          collide = true;
-        } else {
-          split = true;
-        }
-      }
-      if (collide && split) ++sensitive;
-    }
-
-    std::printf("%-14s %12.4f %16zu %17.1f%%\n",
-                cache::to_string(kind).c_str(),
-                p->randomized() ? uniform.p_value : 0.0, same_page_conflicts,
-                100.0 * sensitive / kPairs);
-  }
-
-  std::printf(
-      "\nExpected shape: hashRP and RM pass uniformity (p > 0.05).  hashRP\n"
-      "is pair-seed-sensitive for ~all pairs (Full Randomness, mbpta-p2)\n"
-      "but allows same-page conflicts - which is why it serves L2/L3.  RM\n"
-      "shows ZERO same-page conflicts (mbpta-p3) and partial pair\n"
-      "sensitivity: a bit-permutation network realizes only a subset of all\n"
-      "bijections, so some cross-page pairs never meet - a conflict-free\n"
-      "(hence harmless) case; this is precisely why RM claims Partial\n"
-      "rather than Full randomness.  XOR-index places single addresses\n"
-      "uniformly yet shows 0%% pair sensitivity: its conflicts are\n"
-      "seed-invariant, the section 3 flaw.  Modulo ignores seeds entirely\n"
-      "(uniformity column not applicable).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("fig2", argc, argv);
 }

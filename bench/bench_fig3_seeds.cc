@@ -1,67 +1,13 @@
-// Experiment E3 - paper Figure 3: "Example of AUTOSAR app. and seed
-// management".
+// Experiment E3 - paper Figure 3: AUTOSAR application and TSCache seed
+// management over 3 hyperperiods.
 //
-// Reconstructs the figure's application (SWC1{R1}, SWC2{R2,R3}, SWC3{R4,R5},
-// hyperperiod 20ms) under the TSCache OS policy and prints the executed
-// schedule with every seed-management event: per-SWC seeds, seed switches on
-// SWC context switches, OS seed isolation, and the once-per-hyperperiod
-// reseed + flush.
-#include <cstdio>
-#include <memory>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "fig3" and shared with the tsc_run driver,
+// so `bench_fig3_seeds [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment fig3 ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "os/autosar.h"
-#include "rng/rng.h"
-
-int main() {
-  using namespace tsc;
-  bench::banner("Figure 3: AUTOSAR application and seed management",
-                "TSCache OS policy over 3 hyperperiods");
-
-  sim::Machine machine(
-      sim::arm920t_config(cache::MapperKind::kRandomModulo,
-                          cache::MapperKind::kHashRp,
-                          cache::ReplacementKind::kRandom),
-      std::make_shared<rng::XorShift64Star>(42));
-
-  os::CyclicExecutive exec(machine, os::figure3_app(1000),
-                           os::SeedPolicy::kPerSwcHyperperiod, 2018);
-  std::printf("hyperperiod: %llu time units (20ms at 1000 units/ms)\n\n",
-              static_cast<unsigned long long>(exec.hyperperiod()));
-
-  constexpr std::uint64_t kHyperperiods = 3;
-  for (std::uint64_t h = 0; h < kHyperperiods; ++h) {
-    exec.run(1);
-    std::printf("hyperperiod %llu   seeds: SWC1=%08llx SWC2=%08llx "
-                "SWC3=%08llx\n",
-                static_cast<unsigned long long>(h),
-                static_cast<unsigned long long>(exec.seed_of("SWC1").value &
-                                                0xFFFFFFFF),
-                static_cast<unsigned long long>(exec.seed_of("SWC2").value &
-                                                0xFFFFFFFF),
-                static_cast<unsigned long long>(exec.seed_of("SWC3").value &
-                                                0xFFFFFFFF));
-  }
-
-  std::printf("\n%-6s %-5s %-5s %10s %12s %12s\n", "hp", "job", "swc",
-              "release", "start", "cycles");
-  for (const os::JobRecord& job : exec.trace().jobs) {
-    std::printf("%-6llu %-5s %-5s %10llu %12llu %12llu\n",
-                static_cast<unsigned long long>(job.hyperperiod_index),
-                job.runnable.c_str(), job.swc.c_str(),
-                static_cast<unsigned long long>(job.release),
-                static_cast<unsigned long long>(job.start),
-                static_cast<unsigned long long>(job.duration));
-  }
-
-  std::printf("\ncontext switches (SWC->SWC, red arrows in Fig. 3): %llu\n",
-              static_cast<unsigned long long>(exec.trace().context_switches));
-  std::printf("seed register writes at hyperperiod boundaries:      %llu\n",
-              static_cast<unsigned long long>(exec.trace().seed_changes));
-  std::printf("cache flushes (exactly one per boundary):            %llu\n",
-              static_cast<unsigned long long>(exec.trace().flushes));
-  std::printf("\nExpected shape: seeds differ across SWCs, change at every\n"
-              "hyperperiod, and flushes equal hyperperiod boundaries (%llu).\n",
-              static_cast<unsigned long long>(kHyperperiods - 1));
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("fig3", argc, argv);
 }

@@ -1,88 +1,13 @@
-// Experiment E4 - paper Figure 4: "Time variations with respect to average
-// across all different values of input byte number 4".
+// Experiment E4 - paper Figure 4: per-value timing variation of input
+// byte 4, with a split-half replication check.
 //
-// The deterministic cache shows clear per-value structure (certain values of
-// the input byte take measurably longer: the side channel); TSCache's series
-// is flat noise.  The series is printed as 32 line-groups of 8 values (one
-// cache line of T-table entries each), plus an ASCII sparkline.
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <vector>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "fig4" and shared with the tsc_run driver,
+// so `bench_fig4_timing_variation [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment fig4 ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "core/campaign.h"
-#include "stats/correlation.h"
-
-namespace {
-
-void print_series(const tsc::attack::TimingProfile& profile, int pos) {
-  std::vector<double> groups(32, 0.0);
-  for (int g = 0; g < 32; ++g) {
-    for (int k = 0; k < 8; ++k) {
-      groups[g] += profile.deviation(pos, g * 8 + k);
-    }
-    groups[g] /= 8.0;
-  }
-  const double lo = *std::min_element(groups.begin(), groups.end());
-  const double hi = *std::max_element(groups.begin(), groups.end());
-  std::printf("  per-line-group mean deviation (cycles), groups 0..31:\n  ");
-  for (const double g : groups) std::printf("%6.2f", g);
-  std::printf("\n  spark: ");
-  const char* levels = " .:-=+*#%@";
-  for (const double g : groups) {
-    const double norm = hi > lo ? (g - lo) / (hi - lo) : 0.5;
-    std::printf("%c", levels[static_cast<int>(norm * 9.0)]);
-  }
-  std::printf("   [min %.2f, max %.2f]\n", lo, hi);
-}
-
-}  // namespace
-
-int main() {
-  using namespace tsc;
-  bench::banner("Figure 4: timing variation per value of input byte 4",
-                "mean encryption-time deviation conditioned on pt[4]");
-
-  core::CampaignConfig cfg;
-  cfg.samples = bench::campaign_samples(200'000);
-  std::printf("samples: %zu\n", cfg.samples);
-
-  for (const core::SetupKind kind :
-       {core::SetupKind::kDeterministic, core::SetupKind::kTsCache}) {
-    // Only the victim side is needed for Figure 4.  Two runs on the same
-    // platform under independent plaintext streams separate reproducible
-    // structure (the side channel) from sampling noise: real per-value
-    // structure replicates across the two halves, noise does not.
-    rng::SplitMix64 key_rng(rng::derive_seed(cfg.master_seed, 0x6E1));
-    crypto::Key key{};
-    for (auto& b : key) b = static_cast<std::uint8_t>(key_rng.next_below(256));
-    core::CampaignConfig half = cfg;
-    half.samples = cfg.samples / 2;
-    half.plaintext_stream = 1;
-    const core::SideResult a = core::run_victim_side(kind, half, 1, key);
-    half.plaintext_stream = 2;
-    const core::SideResult b = core::run_victim_side(kind, half, 1, key);
-
-    std::printf("\n--- %s (mean %.1f cycles) ---\n",
-                core::to_string(kind).c_str(), a.profile.global_mean());
-    print_series(a.profile, 4);
-
-    double spread = 0;
-    for (int v = 0; v < 256; ++v) {
-      spread = std::max(spread, std::fabs(a.profile.deviation(4, v)));
-    }
-    const double replication = stats::pearson(a.profile.deviation_row(4),
-                                              b.profile.deviation_row(4));
-    std::printf("  max |deviation| = %.2f cycles\n", spread);
-    std::printf("  split-half replication of the byte-4 series: r = %.3f\n",
-                replication);
-  }
-
-  std::printf(
-      "\nExpected shape (paper): deterministic shows values with clearly\n"
-      "higher time that REPLICATE across measurement halves (r near 1:\n"
-      "a stable, exploitable profile); TSCache's apparent variation does\n"
-      "not replicate (r near 0: sampling noise, nothing to attack).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("fig4", argc, argv);
 }

@@ -1,88 +1,13 @@
-// Experiment E5 - paper Figure 5: "Effectiveness of the Bernstein's attack".
+// Experiment E5 - paper Figure 5: effectiveness of the Bernstein attack
+// on the four setups of section 6.1.2.
 //
-// Runs the full Bernstein campaign (victim + attacker, correlation analysis)
-// on each of the four setups of section 6.1.2 and reports, per setup:
-//
-//   * the per-byte candidate matrix (the Figure 5 grid, compressed to 64
-//     columns: 'K' true key, '+' feasible/grey, '.' discarded/white),
-//   * key bits determined and log2 of the remaining key search space
-//     (paper: deterministic ~2^80, RPCache 2^108, MBPTACache 2^104,
-//     TSCache 2^128),
-//   * the practical-attacker effective keyspace and how many bytes the
-//     attack was actively deceived on.
-//
-// Expected shape: the deterministic cache leaks by far the most; RPCache
-// and MBPTACache still leak (MBPTACache on *different* bytes, because its
-// layout is seed-random); TSCache discloses nothing.
-#include <chrono>
-#include <cstdio>
-#include <vector>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "fig5" and shared with the tsc_run driver,
+// so `bench_fig5_bernstein [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment fig5 ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "core/campaign.h"
-
-namespace {
-
-void print_matrix(const tsc::attack::AttackResult& attack) {
-  std::printf("  byte | candidate values 0..255 (4 values per column)\n");
-  for (int pos = 0; pos < 16; ++pos) {
-    const std::string row = attack.figure5_row(pos);
-    std::string compressed;
-    for (int c = 0; c < 256; c += 4) {
-      // One output char per 4 values: key wins, then grey, then white.
-      char ch = '.';
-      for (int k = 0; k < 4; ++k) {
-        if (row[c + k] == 'K') { ch = 'K'; break; }
-        if (row[c + k] == '+') ch = '+';
-      }
-      compressed += ch;
-    }
-    std::printf("   %2d  |%s|\n", pos, compressed.c_str());
-  }
-}
-
-}  // namespace
-
-int main() {
-  using namespace tsc;
-  bench::banner("Figure 5: Effectiveness of the Bernstein attack",
-                "4 setups x (victim + attacker profiling + correlation)");
-
-  core::CampaignConfig cfg;
-  cfg.samples = bench::campaign_samples(200'000);
-  std::printf("samples per side: %zu (paper used 1e7 on real hardware; the\n"
-              "noise-free simulator converges earlier)\n\n",
-              cfg.samples);
-
-  std::printf("%-14s %12s %14s %16s %10s\n", "setup", "bits-det",
-              "log2(remain)", "effective-bits", "deceived");
-  std::printf("%-14s %12s %14s %16s %10s\n", "(paper) det", "48", "80", "-",
-              "-");
-  std::printf("%-14s %12s %14s %16s %10s\n", "(paper) RPC", "20", "108", "-",
-              "-");
-  std::printf("%-14s %12s %14s %16s %10s\n", "(paper) MBPTA", "24", "104", "-",
-              "-");
-  std::printf("%-14s %12s %14s %16s %10s\n\n", "(paper) TSC", "0", "128",
-              "128", "0");
-
-  std::vector<core::CampaignResult> results;
-  for (const core::SetupKind kind : core::all_setups()) {
-    const auto t0 = std::chrono::steady_clock::now();
-    results.push_back(core::run_bernstein_campaign(kind, cfg));
-    const core::CampaignResult& r = results.back();
-    const double dt = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    std::printf("%-14s %12.1f %14.1f %16.1f %10d   (%.0fs)\n",
-                core::to_string(kind).c_str(), r.attack.bits_determined(),
-                r.attack.log2_remaining_keyspace(),
-                r.attack.effective_log2_keyspace(), r.attack.deceived_bytes(),
-                dt);
-  }
-  std::printf("\nPer-setup candidate matrices (Fig. 5 grids):\n");
-  for (const core::CampaignResult& r : results) {
-    std::printf("\n--- %s ---\n", core::to_string(r.kind).c_str());
-    print_matrix(r.attack);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("fig5", argc, argv);
 }

@@ -1,76 +1,13 @@
-// Experiment E8 - paper section 6.2.1 "Generalization": Prime+Probe and
-// Evict+Time against the four setups.
+// Experiment E8 - paper section 6.2.1: Prime+Probe and Evict+Time
+// generalization across the four setups.
 //
-// "Contention-based attacks, such as Bernstein's one, rely on deterministic
-// eviction of controlled cache lines.  Hence, Prime-Probe and Evict-Time
-// attacks, both contention-based, are thwarted by using secure
-// time-predictable caches since the cache layouts of different processes are
-// completely independent and randomized."
-//
-// Protocol: a victim accesses 1 of N secret lines; the attacker infers which
-// via cache contention, after a calibration phase with known secrets (the
-// honest way to attack a randomized-but-stable layout).  Reported: inference
-// accuracy vs the 1/N chance level.
-#include <cstdio>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "sec621" and shared with the tsc_run driver,
+// so `bench_generalization_attacks [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment sec621 ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "attack/contention.h"
-#include "bench_util.h"
-#include "core/setup.h"
-
-int main() {
-  using namespace tsc;
-  bench::banner("Section 6.2.1: Prime+Probe and Evict+Time generalization",
-                "inference accuracy per setup (chance = 1/candidates)");
-
-  attack::ContentionConfig cfg;
-  cfg.candidates = 32;
-  cfg.trials = static_cast<unsigned>(bench::campaign_samples(192));
-  cfg.calibration_reps = 4;
-
-  constexpr ProcId kVictim{1};
-  constexpr ProcId kAttacker{2};
-
-  std::printf("candidates: %u   trials: %u   chance: %.1f%%\n\n",
-              cfg.candidates, cfg.trials, 100.0 / cfg.candidates);
-  std::printf("%-14s %18s %18s\n", "setup", "prime+probe", "evict+time");
-
-  for (const core::SetupKind kind : core::all_setups()) {
-    double accuracy[2] = {0, 0};
-    int column = 0;
-    for (const bool prime_probe : {true, false}) {
-      core::Setup setup(kind, 7777, /*shared_layout_seed=*/4242);
-      setup.register_process(kVictim);
-      setup.register_process(kAttacker);
-      setup.set_hyperperiod_jobs(1);  // TSCache: reseed every trial
-
-      std::uint64_t job = 0;
-      const attack::TrialHook hook = [&] {
-        setup.before_job(kVictim, job);
-        setup.before_job(kAttacker, job);
-        ++job;
-      };
-
-      rng::XorShift64Star rng(rng::derive_seed(7777, prime_probe ? 1 : 2));
-      const attack::ContentionOutcome outcome =
-          prime_probe
-              ? attack::run_prime_probe(setup.machine(), kVictim, kAttacker,
-                                        cfg, rng, hook)
-              : attack::run_evict_time(setup.machine(), kVictim, kAttacker,
-                                       cfg, rng, hook);
-      accuracy[column++] = outcome.accuracy();
-    }
-    std::printf("%-14s %17.1f%% %17.1f%%\n", core::to_string(kind).c_str(),
-                100.0 * accuracy[0], 100.0 * accuracy[1]);
-  }
-
-  std::printf(
-      "\nExpected shape (paper): near-perfect inference on the deterministic\n"
-      "cache (both attacks); MBPTACache remains attackable via Prime+Probe -\n"
-      "attacker and victim may share the seed, the layout is stable, and the\n"
-      "calibration transfers (its Evict+Time stays at chance only because\n"
-      "this attacker builds eviction groups by modulo index, which do not\n"
-      "form sets under RM; a self-grouping attacker would recover them);\n"
-      "RPCache defeats cross-process contention by design (random-set\n"
-      "eviction on contention); TSCache drops everything to chance.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("sec621", argc, argv);
 }

@@ -1,77 +1,13 @@
-// Experiment E6 - paper section 6.2.2: "MBPTA-compliance".
+// Experiment E6 - paper section 6.2.2: MBPTA compliance (Ljung-Box +
+// KS two-sample at alpha = 0.05).
 //
-// "We further validated that the observed execution time fulfills the
-// independence and identical distribution properties as required by EVT as
-// used in MBPTA.  We use the Ljung-Box independence test to test
-// autocorrelation for 20 different lags simultaneously [...] and the
-// Kolmogorov-Smirnov two-sample i.d. test.  All our samples have passed both
-// tests for a alpha = 0.05 significance level."
-//
-// We apply the same two tests to per-run execution times on each setup, for
-// the MBPTA measurement protocol (fresh random layout per run).  TSCache and
-// MBPTACache must pass both; the deterministic cache produces a degenerate
-// (constant) distribution - the reason MBPTA cannot be applied there.
-#include <cstdio>
-#include <vector>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "sec622" and shared with the tsc_run driver,
+// so `bench_sec622_mbpta [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment sec622 ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "core/setup.h"
-#include "isa/interpreter.h"
-#include "isa/kernels.h"
-#include "mbpta/analysis.h"
-
-namespace {
-
-std::vector<double> sample_for(tsc::core::SetupKind kind, std::size_t runs) {
-  using namespace tsc;
-  std::vector<double> times;
-  times.reserve(runs);
-  for (std::size_t r = 0; r < runs; ++r) {
-    core::Setup setup(kind, rng::derive_seed(622, r));
-    setup.register_process(ProcId{1});
-    setup.machine().set_process(ProcId{1});
-    isa::Interpreter interp(setup.machine());
-    interp.load_program(
-        isa::assemble(isa::vector_sum_source(0x40000, 5120), 0x1000));
-    (void)interp.run(0x1000);
-    times.push_back(static_cast<double>(interp.run(0x1000).cycles));
-  }
-  return times;
-}
-
-}  // namespace
-
-int main() {
-  using namespace tsc;
-  bench::banner("Section 6.2.2: MBPTA compliance",
-                "Ljung-Box (20 lags) + KS two-sample at alpha = 0.05");
-
-  const std::size_t runs = bench::campaign_samples(800);
-  std::printf("runs per setup: %zu\n\n", runs);
-  std::printf("%-14s %10s %10s %10s %10s %8s\n", "setup", "LB-Q", "LB-p",
-              "KS-D", "KS-p", "verdict");
-
-  for (const core::SetupKind kind : core::all_setups()) {
-    const std::vector<double> times = sample_for(kind, runs);
-    const stats::Summary s = stats::summarize(times);
-    if (s.stddev == 0) {
-      std::printf("%-14s %10s %10s %10s %10s %8s\n",
-                  core::to_string(kind).c_str(), "-", "-", "-", "-",
-                  "constant");
-      continue;
-    }
-    const stats::IidVerdict v = stats::iid_check(times, 20);
-    std::printf("%-14s %10.2f %10.4f %10.4f %10.4f %8s\n",
-                core::to_string(kind).c_str(), v.independence.statistic,
-                v.independence.p_value, v.identical.statistic,
-                v.identical.p_value, v.passed(0.05) ? "PASS" : "FAIL");
-  }
-
-  std::printf(
-      "\nExpected shape (paper): the randomized setups PASS both tests;\n"
-      "the deterministic cache yields layout-locked (constant) timing, so\n"
-      "there is no distribution for MBPTA to work with.  RPCache timing is\n"
-      "also layout-locked for a single task (its randomization only fires\n"
-      "on cross-process contention) - the mbpta-p1 failure of section 3.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("sec622", argc, argv);
 }

@@ -1,149 +1,13 @@
-// Experiment E7 - paper section 6.2.3: "Overheads".
+// Experiment E7 - paper section 6.2.3: overheads (miss rates vs modulo,
+// seed-change cost, flush share per hyperperiod).
 //
-// The paper's performance claims:
-//   * "RM has shown a miss rate 1% far from modulo, hence with negligible
-//     impact on average performance" - we sweep a kernel suite and compare
-//     L1D miss rates under modulo / xor-index / hashRP / RM.
-//   * "restoring the seed of the process to be executed next would only
-//     require to wait until all accesses in flight have been served, which
-//     would take tens of cycles" - we measure the modeled seed-change cost.
-//   * "cache flushing occurs only once per hyperperiod, [so] the relative
-//     cost of flushing is contained" - we measure flush cost against
-//     hyperperiod length.
-//
-// (The paper's area/frequency numbers come from an FPGA implementation and
-// are out of scope for a software model; see EXPERIMENTS.md.)
-#include <cstdio>
-#include <functional>
-#include <memory>
-#include <string>
-#include <vector>
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "sec623" and shared with the tsc_run driver,
+// so `bench_sec623_overheads [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment sec623 ...` are the same experiment.  Output is a
+// JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
 
-#include "bench_util.h"
-#include "core/setup.h"
-#include "isa/interpreter.h"
-#include "isa/kernels.h"
-#include "os/autosar.h"
-
-namespace {
-
-using namespace tsc;
-
-struct Kernel {
-  std::string name;
-  std::string source;
-};
-
-std::vector<Kernel> kernel_suite() {
-  return {
-      {"vecsum-20KB", isa::vector_sum_source(0x40000, 5120)},
-      {"memcpy-8KB", isa::memcpy_source(0x40000, 0x60000, 2048)},
-      {"sort-1KB", isa::bubble_sort_source(0x40000, 256)},
-      {"matmul-24x24", isa::matmul_source(0x40000, 0x50000, 0x60000, 24)},
-      {"stride-64B-32KB", isa::stride_walk_source(0x40000, 8192, 64, 32768)},
-  };
-}
-
-double miss_rate_for(cache::MapperKind mapper, const Kernel& kernel,
-                     std::uint64_t seed) {
-  sim::Machine machine(
-      sim::arm920t_config(mapper, mapper == cache::MapperKind::kModulo
-                                      ? cache::MapperKind::kModulo
-                                      : cache::MapperKind::kHashRp,
-                          mapper == cache::MapperKind::kModulo
-                              ? cache::ReplacementKind::kLru
-                              : cache::ReplacementKind::kRandom),
-      std::make_shared<rng::XorShift64Star>(seed));
-  machine.hierarchy().set_seed(ProcId{1}, Seed{rng::derive_seed(seed, 1)});
-  machine.set_process(ProcId{1});
-  isa::Interpreter interp(machine);
-  interp.load_program(isa::assemble(kernel.source, 0x1000));
-  (void)interp.run(0x1000, 50'000'000);
-  return machine.hierarchy().l1d().stats().miss_rate();
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Section 6.2.3: overheads",
-                "miss rates vs modulo; seed-change and flush costs");
-
-  // --- miss rates ------------------------------------------------------------
-  std::printf("L1D miss rate by placement (random designs averaged over 8 "
-              "seeds):\n\n");
-  std::printf("%-18s %10s %10s %10s %10s\n", "kernel", "modulo", "xor-index",
-              "hashRP", "RM");
-  for (const Kernel& kernel : kernel_suite()) {
-    std::printf("%-18s", kernel.name.c_str());
-    for (const cache::MapperKind mapper :
-         {cache::MapperKind::kModulo, cache::MapperKind::kXorIndex,
-          cache::MapperKind::kHashRp, cache::MapperKind::kRandomModulo}) {
-      double acc = 0;
-      const int reps = mapper == cache::MapperKind::kModulo ? 1 : 8;
-      for (int r = 0; r < reps; ++r) {
-        acc += miss_rate_for(mapper, kernel, 1000 + r * 77);
-      }
-      std::printf(" %9.3f%%", 100.0 * acc / reps);
-    }
-    std::printf("\n");
-  }
-
-  // --- seed change cost -------------------------------------------------------
-  {
-    sim::Machine machine(
-        sim::arm920t_config(cache::MapperKind::kRandomModulo,
-                            cache::MapperKind::kHashRp,
-                            cache::ReplacementKind::kRandom),
-        std::make_shared<rng::XorShift64Star>(7));
-    const Cycles before = machine.now();
-    machine.set_seed(ProcId{1}, Seed{123});
-    std::printf("\nseed change cost (pipeline drain + 3 seed registers): "
-                "%llu cycles\n",
-                static_cast<unsigned long long>(machine.now() - before));
-  }
-
-  // --- flush cost vs hyperperiod length ----------------------------------------
-  std::printf("\nflush overhead per hyperperiod (Fig. 3 app, TSCache policy):\n");
-  std::printf("%-22s %14s %14s %10s\n", "hyperperiod length", "total cycles",
-              "flush cycles", "share");
-  for (const Cycles tick : {Cycles{250}, Cycles{1000}, Cycles{4000}}) {
-    sim::Machine machine(
-        sim::arm920t_config(cache::MapperKind::kRandomModulo,
-                            cache::MapperKind::kHashRp,
-                            cache::ReplacementKind::kRandom),
-        std::make_shared<rng::XorShift64Star>(9));
-    os::CyclicExecutive exec(machine, os::figure3_app(tick),
-                             os::SeedPolicy::kPerSwcHyperperiod, 2018);
-    const Cycles start = machine.now();
-    const std::uint64_t flushes_before = machine.stats().flushes;
-    exec.run(8);
-    const Cycles total = machine.now() - start;
-    // Re-measure flush cost directly: a full flush of the same hierarchy.
-    const std::uint64_t flushes = machine.stats().flushes - flushes_before;
-    const Cycles flush_cost_each = [&] {
-      sim::Machine probe(
-          sim::arm920t_config(cache::MapperKind::kRandomModulo,
-                              cache::MapperKind::kHashRp,
-                              cache::ReplacementKind::kRandom),
-          std::make_shared<rng::XorShift64Star>(10));
-      // Populate roughly like a steady-state hyperperiod, then flush.
-      probe.set_process(ProcId{1});
-      for (Addr a = 0; a < 128 * 1024; a += 32) probe.load(0x100, 0x200000 + a);
-      const Cycles t0 = probe.now();
-      probe.flush_caches();
-      return probe.now() - t0;
-    }();
-    std::printf("%-22llu %14llu %14llu %9.2f%%\n",
-                static_cast<unsigned long long>(exec.hyperperiod()),
-                static_cast<unsigned long long>(total),
-                static_cast<unsigned long long>(flushes * flush_cost_each),
-                100.0 * static_cast<double>(flushes * flush_cost_each) /
-                    static_cast<double>(total));
-  }
-
-  std::printf(
-      "\nExpected shape (paper): RM within ~1-2%% of modulo on average;\n"
-      "hashRP similar; seed changes cost tens of cycles; flush share\n"
-      "shrinks as the hyperperiod grows (it is paid once per hyperperiod).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("sec623", argc, argv);
 }

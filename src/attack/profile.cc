@@ -14,6 +14,19 @@ void TimingProfile::add(const crypto::Block& plaintext, double duration) {
   ++total_count_;
 }
 
+void TimingProfile::merge(const TimingProfile& other) {
+  for (int i = 0; i < kPositions; ++i) {
+    const auto p = static_cast<std::size_t>(i);
+    for (int v = 0; v < kValues; ++v) {
+      const auto c = static_cast<std::size_t>(v);
+      sums_[p][c] += other.sums_[p][c];
+      counts_[p][c] += other.counts_[p][c];
+    }
+  }
+  total_sum_ += other.total_sum_;
+  total_count_ += other.total_count_;
+}
+
 double TimingProfile::global_mean() const {
   return total_count_ == 0 ? 0.0
                            : total_sum_ / static_cast<double>(total_count_);

@@ -25,6 +25,14 @@ class TimingProfile {
   /// Record one encryption: the plaintext used and the cycles it took.
   void add(const crypto::Block& plaintext, double duration);
 
+  /// Fold another profile into this one (cell-wise sum of sums and counts).
+  /// Durations are integer cycle counts, so the per-cell double sums stay
+  /// exact far beyond any realistic campaign size (2^53 cycles total) and
+  /// the merge is associative and commutative bit-for-bit: the sharded
+  /// campaign runner relies on this to produce identical results for any
+  /// worker count.
+  void merge(const TimingProfile& other);
+
   /// Mean duration over samples with plaintext[pos] == value, minus the
   /// global mean duration.  Returns 0 for cells that received no samples.
   [[nodiscard]] double deviation(int pos, int value) const;

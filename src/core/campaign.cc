@@ -74,8 +74,18 @@ SideResult run_victim_side(SetupKind kind, const CampaignConfig& config,
     noise_plan.emplace_back(index, depth);
   }
 
+  // A run starting mid-hyperperiod (sharded campaigns) must execute under
+  // the seed epoch installed at the preceding boundary, exactly as the
+  // continuous campaign would; replay that boundary's reseed first.  The
+  // loop itself triggers the boundary when job_offset is aligned.
+  if (config.job_offset % config.hyperperiod_jobs != 0) {
+    setup.before_job(kCryptoProc,
+                     config.job_offset -
+                         config.job_offset % config.hyperperiod_jobs);
+  }
+
   for (std::size_t j = 0; j < config.warmup + config.samples; ++j) {
-    setup.before_job(kCryptoProc, j);
+    setup.before_job(kCryptoProc, config.job_offset + j);
 
     // OS tick: background kernel activity under the OS identity.
     m.set_process(kOsProc);
@@ -103,13 +113,17 @@ SideResult run_victim_side(SetupKind kind, const CampaignConfig& config,
   return side;
 }
 
+crypto::Key campaign_victim_key(std::uint64_t master_seed) {
+  rng::SplitMix64 key_rng(rng::derive_seed(master_seed, 0x6E1));
+  return random_key(key_rng);
+}
+
 CampaignResult run_bernstein_campaign(SetupKind kind,
                                       const CampaignConfig& config) {
   CampaignResult result;
   result.kind = kind;
 
-  rng::SplitMix64 key_rng(rng::derive_seed(config.master_seed, 0x6E1));
-  const crypto::Key victim_key = random_key(key_rng);
+  const crypto::Key victim_key = campaign_victim_key(config.master_seed);
   const crypto::Key attacker_key{};  // all-zero: Bernstein's known key
 
   result.victim = run_victim_side(kind, config, /*party_tag=*/1, victim_key);

@@ -37,6 +37,11 @@ struct CampaignConfig {
   /// fixed - lets analyses (e.g. Fig. 4's split-half replication check)
   /// re-measure the same platform under fresh independent inputs.
   std::uint64_t plaintext_stream = 0;
+  /// Number of the first job (encryption) of this run.  The sharded runner
+  /// sets it to the shard's window start so TSCache's job-indexed reseed
+  /// schedule replays exactly as in one continuous campaign; layouts and
+  /// keys are unaffected (they derive from master_seed alone).
+  std::uint64_t job_offset = 0;
 
   crypto::SimAesLayout aes_layout{};
 
@@ -82,6 +87,11 @@ struct CampaignResult {
   SideResult attacker;
   attack::AttackResult attack;
 };
+
+/// The victim's secret key, a pure function of the campaign master seed.
+/// Exposed so sharded/partial runs (src/runner/) attack exactly the key
+/// run_bernstein_campaign would generate.
+[[nodiscard]] crypto::Key campaign_victim_key(std::uint64_t master_seed);
 
 /// Run victim + attacker campaigns on `kind` and correlate them.
 [[nodiscard]] CampaignResult run_bernstein_campaign(

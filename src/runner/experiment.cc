@@ -1,0 +1,145 @@
+#include "runner/experiment.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tsc::runner {
+
+std::size_t RunOptions::resolve_samples(std::size_t standard) const {
+  if (samples > 0) return samples;
+  if (const char* env = std::getenv("TSC_SAMPLES")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  bool shrink = fast;
+  if (const char* env = std::getenv("TSC_FAST"); env && env[0] == '1') {
+    shrink = true;
+  }
+  return shrink ? std::max<std::size_t>(1, standard / 8) : standard;
+}
+
+namespace {
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: tsc_run --experiment NAME [options]\n"
+               "       tsc_run --list\n"
+               "\n"
+               "options:\n"
+               "  --experiment NAME   experiment to run (see --list)\n"
+               "  --samples N         per-side samples / runs (0 = standard scale)\n"
+               "  --seed S            campaign master seed (default 2018)\n"
+               "  --shards N          worker threads (0 = hardware concurrency);\n"
+               "                      results are bit-identical for every value\n"
+               "  --shard-size N      samples per shard (default 25000); part of\n"
+               "                      the deterministic decomposition\n"
+               "  --fast              smoke scale (standard / 8)\n"
+               "  --json              compact single-line JSON on stdout\n"
+               "  --list              list experiments and exit\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int experiment_main(const std::string& name, int argc, char** argv) {
+  RunOptions options;
+  std::string experiment_name = name;
+  bool compact = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t v = 0;
+    if (arg == "--list") {
+      for (const Experiment& e : all_experiments()) {
+        std::printf("%-24s %s\n", e.name.c_str(), e.description.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    }
+    if (arg == "--json") {
+      compact = true;
+    } else if (arg == "--fast") {
+      options.fast = true;
+    } else if (arg == "--experiment") {
+      const char* val = next();
+      if (val == nullptr) {
+        std::fprintf(stderr, "--experiment needs a value\n");
+        return 2;
+      }
+      experiment_name = val;
+    } else if (arg == "--samples" || arg == "--seed" || arg == "--shards" ||
+               arg == "--shard-size") {
+      const char* val = next();
+      if (val == nullptr || !parse_u64(val, v)) {
+        std::fprintf(stderr, "%s needs an unsigned integer value\n",
+                     arg.c_str());
+        return 2;
+      }
+      if (arg == "--samples") {
+        options.samples = static_cast<std::size_t>(v);
+      } else if (arg == "--seed") {
+        options.master_seed = v;
+      } else if (arg == "--shards") {
+        options.workers = static_cast<unsigned>(v);
+      } else {
+        options.shard_size = static_cast<std::size_t>(v);
+      }
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  if (experiment_name.empty()) {
+    print_usage(stderr);
+    return 2;
+  }
+  const Experiment* experiment = find_experiment(experiment_name);
+  if (experiment == nullptr) {
+    std::fprintf(stderr, "unknown experiment '%s'; available:\n",
+                 experiment_name.c_str());
+    for (const Experiment& e : all_experiments()) {
+      std::fprintf(stderr, "  %s\n", e.name.c_str());
+    }
+    return 2;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Json results = experiment->run(options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // The envelope stays a pure function of the experiment inputs: worker
+  // count and wall-clock go to stderr only.
+  Json doc = Json::object();
+  doc.set("experiment", experiment->name)
+      .set("description", experiment->description)
+      .set("seed", options.master_seed)
+      .set("results", std::move(results));
+  std::fputs(doc.dump(compact ? -1 : 2).c_str(), stdout);
+  if (compact) std::fputc('\n', stdout);
+  std::fprintf(stderr, "[tsc_run] %s finished in %.2fs (workers=%u)\n",
+               experiment->name.c_str(), elapsed,
+               options.workers);
+  return 0;
+}
+
+}  // namespace tsc::runner

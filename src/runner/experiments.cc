@@ -1,0 +1,688 @@
+// The registered experiments: every bench/ scenario, expressed once as a
+// RunOptions -> Json function.  Campaign-shaped experiments run on the
+// sharded engine (runner/sharded.h); per-run protocols (MBPTA collection,
+// contention trials, miss-rate sweeps) fan out over parallel_map with
+// index-derived seeds.  Either way the JSON is a pure function of
+// (options.samples, options.master_seed, options.shard_size) - never of the
+// worker count.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attack/contention.h"
+#include "cache/placement.h"
+#include "core/campaign.h"
+#include "core/setup.h"
+#include "isa/interpreter.h"
+#include "isa/kernels.h"
+#include "mbpta/analysis.h"
+#include "os/autosar.h"
+#include "runner/experiment.h"
+#include "runner/sharded.h"
+#include "runner/thread_pool.h"
+#include "stats/correlation.h"
+#include "stats/tests.h"
+
+namespace tsc::runner {
+namespace {
+
+constexpr ProcId kVictim{1};
+constexpr ProcId kAttacker{2};
+
+ShardedConfig sharded_config(const RunOptions& options,
+                             std::size_t standard_samples) {
+  ShardedConfig config;
+  config.base.samples = options.resolve_samples(standard_samples);
+  config.base.master_seed = options.master_seed;
+  config.shard_size = options.shard_size;
+  config.workers = options.workers;
+  return config;
+}
+
+Json attack_json(const attack::AttackResult& attack) {
+  Json bytes = Json::array();
+  for (int pos = 0; pos < 16; ++pos) {
+    const attack::ByteAttackResult& byte = attack.bytes[static_cast<std::size_t>(pos)];
+    Json row = Json::object();
+    row.set("pos", pos)
+        .set("true_rank", byte.true_rank)
+        .set("kept_candidates", byte.kept_candidates())
+        .set("significant", byte.significant_count)
+        .set("truth_significant", byte.truth_significant)
+        .set("best_correlation",
+             byte.correlation[byte.ranking[0]])
+        .set("truth_correlation",
+             byte.correlation[attack.victim_key[static_cast<std::size_t>(pos)]]);
+    bytes.push(std::move(row));
+  }
+  Json j = Json::object();
+  j.set("bits_determined", attack.bits_determined())
+      .set("log2_remaining_keyspace", attack.log2_remaining_keyspace())
+      .set("effective_log2_keyspace", attack.effective_log2_keyspace())
+      .set("fully_determined_bytes", attack.fully_determined_bytes())
+      .set("misled_bytes", attack.misled_bytes())
+      .set("deceived_bytes", attack.deceived_bytes())
+      .set("bytes", std::move(bytes));
+  return j;
+}
+
+Json campaign_json(const ShardedCampaignResult& r) {
+  Json j = Json::object();
+  j.set("setup", core::to_string(r.kind))
+      .set("samples_per_side", r.victim.profile.samples())
+      .set("shards", r.shard_count)
+      .set("victim_mean_cycles", r.victim.time_stats.mean())
+      .set("victim_stddev_cycles", r.victim.time_stats.stddev())
+      .set("attacker_mean_cycles", r.attacker.time_stats.mean())
+      .set("attack", attack_json(r.attack));
+  return j;
+}
+
+/// Per-run MBPTA measurement: one fresh Setup per run (fresh random layout,
+/// the section 2.1 protocol), timing the second pass of a 20KB vector sum.
+std::vector<double> mbpta_sample(core::SetupKind kind, std::size_t runs,
+                                 std::uint64_t seed_base, unsigned workers) {
+  ThreadPool pool(workers);
+  return parallel_map(pool, runs, [&](std::size_t r) {
+    core::Setup setup(kind, rng::derive_seed(seed_base, r));
+    setup.register_process(kVictim);
+    setup.machine().set_process(kVictim);
+    isa::Interpreter interp(setup.machine());
+    interp.load_program(
+        isa::assemble(isa::vector_sum_source(0x40000, 5120), 0x1000));
+    (void)interp.run(0x1000);  // warm pass
+    return static_cast<double>(interp.run(0x1000).cycles);
+  });
+}
+
+Json iid_json(const stats::IidVerdict& v, double alpha) {
+  Json j = Json::object();
+  j.set("ljung_box_q", v.independence.statistic)
+      .set("ljung_box_p", v.independence.p_value)
+      .set("ks_d", v.identical.statistic)
+      .set("ks_p", v.identical.p_value)
+      .set("passed", v.passed(alpha));
+  return j;
+}
+
+// --- fig1: MBPTA process and pWCET curve -----------------------------------
+
+Json run_fig1(const RunOptions& options) {
+  const std::size_t runs =
+      std::max<std::size_t>(400, options.resolve_samples(1000));
+  const std::vector<double> times = mbpta_sample(
+      core::SetupKind::kTsCache, runs, options.master_seed, options.workers);
+
+  Json tails = Json::array();
+  for (const auto tail :
+       {stats::TailModel::kGumbelBlockMaxima, stats::TailModel::kGpdPot}) {
+    mbpta::AnalysisConfig cfg;
+    cfg.tail = tail;
+    const mbpta::AnalysisReport report = mbpta::analyze(times, cfg);
+    Json t = Json::object();
+    t.set("model", tail == stats::TailModel::kGumbelBlockMaxima
+                       ? "gumbel_block_maxima"
+                       : "gpd_pot");
+    t.set("iid", iid_json(report.iid, report.alpha));
+    t.set("mbpta_applicable", report.mbpta_applicable());
+    if (report.mbpta_applicable()) {
+      Json curve = Json::array();
+      for (const stats::PwcetPoint& point : report.curve()) {
+        Json p = Json::object();
+        p.set("exceedance_prob", point.exceedance_prob)
+            .set("bound_cycles", point.bound);
+        curve.push(std::move(p));
+      }
+      t.set("pwcet_1e-10", report.pwcet(1e-10)).set("curve", std::move(curve));
+    }
+    tails.push(std::move(t));
+  }
+
+  Json j = Json::object();
+  j.set("runs", runs)
+      .set("task", "second pass over a 20KB vector-sum")
+      .set("max_observed_cycles",
+           *std::max_element(times.begin(), times.end()))
+      .set("tails", std::move(tails));
+  return j;
+}
+
+// --- fig2: placement-function properties -----------------------------------
+
+Json run_fig2(const RunOptions& options) {
+  using cache::PlacementKind;
+  const cache::Geometry l1 = cache::l1_geometry_arm920t();
+  const unsigned kSeeds = 512;
+  const auto kPairs =
+      static_cast<unsigned>(options.resolve_samples(256));
+
+  Json rows = Json::array();
+  for (const PlacementKind kind :
+       {PlacementKind::kModulo, PlacementKind::kXorIndex,
+        PlacementKind::kHashRp, PlacementKind::kRandomModulo}) {
+    const auto p = cache::make_placement(kind, l1);
+
+    std::vector<std::size_t> counts(l1.sets(), 0);
+    for (unsigned s = 0; s < l1.sets() * 100; ++s) {
+      ++counts[p->set_index(0x4D5A1, Seed{0xA5A5000 + s})];
+    }
+    const auto uniform = stats::chi2_uniform(counts);
+
+    std::size_t same_page_conflicts = 0;
+    for (unsigned s = 0; s < 64; ++s) {
+      std::set<std::uint32_t> sets;
+      for (Addr i = 0; i < l1.sets(); ++i) {
+        sets.insert(p->set_index((0x77ULL << l1.index_bits()) | i,
+                                 Seed{0xBEE0 + s * 7919}));
+      }
+      same_page_conflicts += l1.sets() - sets.size();
+    }
+
+    unsigned sensitive = 0;
+    for (unsigned pair = 0; pair < kPairs; ++pair) {
+      const Addr a = 0x10000 + pair * 7;
+      const Addr b = 0x90000 + pair * 13;
+      bool collide = false;
+      bool split = false;
+      for (unsigned s = 0; s < kSeeds && !(collide && split); ++s) {
+        const Seed seed{0xC0FFEE00 + s * 104729};
+        if (p->set_index(a, seed) == p->set_index(b, seed)) {
+          collide = true;
+        } else {
+          split = true;
+        }
+      }
+      if (collide && split) ++sensitive;
+    }
+
+    Json row = Json::object();
+    row.set("placement", cache::to_string(kind))
+        .set("uniformity_p", p->randomized() ? uniform.p_value : 0.0)
+        .set("same_page_conflicts", same_page_conflicts)
+        .set("pair_seed_sensitivity",
+             static_cast<double>(sensitive) / kPairs);
+    rows.push(std::move(row));
+  }
+
+  Json j = Json::object();
+  j.set("pairs", kPairs).set("seeds", kSeeds).set("placements", std::move(rows));
+  return j;
+}
+
+// --- fig3: AUTOSAR app and seed management ---------------------------------
+
+Json run_fig3(const RunOptions& options) {
+  sim::Machine machine(
+      sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                          cache::MapperKind::kHashRp,
+                          cache::ReplacementKind::kRandom),
+      std::make_shared<rng::XorShift64Star>(42));
+  os::CyclicExecutive exec(machine, os::figure3_app(1000),
+                           os::SeedPolicy::kPerSwcHyperperiod,
+                           options.master_seed);
+
+  constexpr std::uint64_t kHyperperiods = 3;
+  Json seed_rows = Json::array();
+  for (std::uint64_t h = 0; h < kHyperperiods; ++h) {
+    exec.run(1);
+    Json row = Json::object();
+    row.set("hyperperiod", h)
+        .set("swc1_seed", exec.seed_of("SWC1").value & 0xFFFFFFFF)
+        .set("swc2_seed", exec.seed_of("SWC2").value & 0xFFFFFFFF)
+        .set("swc3_seed", exec.seed_of("SWC3").value & 0xFFFFFFFF);
+    seed_rows.push(std::move(row));
+  }
+
+  Json j = Json::object();
+  j.set("hyperperiod_length", exec.hyperperiod())
+      .set("hyperperiods", kHyperperiods)
+      .set("jobs", exec.trace().jobs.size())
+      .set("context_switches", exec.trace().context_switches)
+      .set("seed_changes", exec.trace().seed_changes)
+      .set("flushes", exec.trace().flushes)
+      .set("seeds_per_hyperperiod", std::move(seed_rows));
+  return j;
+}
+
+// --- fig4: per-value timing variation --------------------------------------
+
+Json run_fig4(const RunOptions& options) {
+  Json setups = Json::array();
+  for (const core::SetupKind kind :
+       {core::SetupKind::kDeterministic, core::SetupKind::kTsCache}) {
+    // Two independent-plaintext halves on the same platform: replicating
+    // structure is signal, non-replicating structure is sampling noise.
+    const crypto::Key key = core::campaign_victim_key(options.master_seed);
+
+    ShardedConfig half = sharded_config(options, 200'000);
+    half.base.samples /= 2;
+    half.base.plaintext_stream = 1;
+    const MergedSide a = run_sharded_victim(kind, half, 1, key);
+    half.base.plaintext_stream = 2;
+    const MergedSide b = run_sharded_victim(kind, half, 1, key);
+
+    Json groups = Json::array();
+    double spread = 0;
+    for (int g = 0; g < 32; ++g) {
+      double acc = 0;
+      for (int k = 0; k < 8; ++k) acc += a.profile.deviation(4, g * 8 + k);
+      groups.push(acc / 8.0);
+    }
+    for (int v = 0; v < 256; ++v) {
+      spread = std::max(spread, std::fabs(a.profile.deviation(4, v)));
+    }
+    const double replication = stats::pearson(a.profile.deviation_row(4),
+                                              b.profile.deviation_row(4));
+
+    Json s = Json::object();
+    s.set("setup", core::to_string(kind))
+        .set("samples_per_half", a.profile.samples())
+        .set("global_mean_cycles", a.profile.global_mean())
+        .set("max_abs_deviation", spread)
+        .set("split_half_replication_r", replication)
+        .set("byte4_group_deviation", std::move(groups));
+    setups.push(std::move(s));
+  }
+  Json j = Json::object();
+  j.set("byte", 4).set("setups", std::move(setups));
+  return j;
+}
+
+// --- fig5: Bernstein attack effectiveness ----------------------------------
+
+Json run_fig5(const RunOptions& options) {
+  Json setups = Json::array();
+  for (const core::SetupKind kind : core::all_setups()) {
+    const ShardedCampaignResult r =
+        run_sharded_bernstein(kind, sharded_config(options, 200'000));
+    setups.push(campaign_json(r));
+  }
+  Json j = Json::object();
+  j.set("paper_log2_remaining",
+        Json::object()
+            .set("deterministic", 80)
+            .set("RPCache", 108)
+            .set("MBPTACache", 104)
+            .set("TSCache", 128))
+      .set("setups", std::move(setups));
+  return j;
+}
+
+// --- sec6.2.1: Prime+Probe / Evict+Time generalization ---------------------
+
+Json run_sec621(const RunOptions& options) {
+  attack::ContentionConfig cfg;
+  cfg.candidates = 32;
+  cfg.trials = static_cast<unsigned>(options.resolve_samples(192));
+  cfg.calibration_reps = 4;
+
+  const std::vector<core::SetupKind>& kinds = core::all_setups();
+  ThreadPool pool(options.workers);
+  // One task per (setup, attack) pair; each builds its own platform.
+  const std::vector<double> accuracy = parallel_map(
+      pool, kinds.size() * 2, [&](std::size_t task) {
+        const core::SetupKind kind = kinds[task / 2];
+        const bool prime_probe = task % 2 == 0;
+        core::Setup setup(kind, options.master_seed,
+                          /*shared_layout_seed=*/4242);
+        setup.register_process(kVictim);
+        setup.register_process(kAttacker);
+        setup.set_hyperperiod_jobs(1);  // TSCache: reseed every trial
+        std::uint64_t job = 0;
+        const attack::TrialHook hook = [&] {
+          setup.before_job(kVictim, job);
+          setup.before_job(kAttacker, job);
+          ++job;
+        };
+        rng::XorShift64Star rng(
+            rng::derive_seed(options.master_seed, prime_probe ? 1 : 2));
+        const attack::ContentionOutcome outcome =
+            prime_probe
+                ? attack::run_prime_probe(setup.machine(), kVictim, kAttacker,
+                                          cfg, rng, hook)
+                : attack::run_evict_time(setup.machine(), kVictim, kAttacker,
+                                         cfg, rng, hook);
+        return outcome.accuracy();
+      });
+
+  Json rows = Json::array();
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    Json row = Json::object();
+    row.set("setup", core::to_string(kinds[i]))
+        .set("prime_probe_accuracy", accuracy[i * 2])
+        .set("evict_time_accuracy", accuracy[i * 2 + 1]);
+    rows.push(std::move(row));
+  }
+  Json j = Json::object();
+  j.set("candidates", cfg.candidates)
+      .set("trials", cfg.trials)
+      .set("chance", 1.0 / cfg.candidates)
+      .set("setups", std::move(rows));
+  return j;
+}
+
+// --- sec6.2.2: MBPTA compliance --------------------------------------------
+
+Json run_sec622(const RunOptions& options) {
+  const std::size_t runs = options.resolve_samples(800);
+  Json rows = Json::array();
+  for (const core::SetupKind kind : core::all_setups()) {
+    const std::vector<double> times =
+        mbpta_sample(kind, runs, rng::derive_seed(options.master_seed, 622),
+                     options.workers);
+    const stats::Summary summary = stats::summarize(times);
+    Json row = Json::object();
+    row.set("setup", core::to_string(kind))
+        .set("mean_cycles", summary.mean)
+        .set("stddev_cycles", summary.stddev);
+    if (summary.stddev == 0) {
+      row.set("verdict", "constant");
+    } else {
+      const stats::IidVerdict v = stats::iid_check(times, 20);
+      row.set("iid", iid_json(v, 0.05))
+          .set("verdict", v.passed(0.05) ? "pass" : "fail");
+    }
+    rows.push(std::move(row));
+  }
+  Json j = Json::object();
+  j.set("runs", runs).set("alpha", 0.05).set("setups", std::move(rows));
+  return j;
+}
+
+// --- sec6.2.3: overheads ---------------------------------------------------
+
+struct Kernel {
+  std::string name;
+  std::string source;
+};
+
+std::vector<Kernel> kernel_suite() {
+  return {
+      {"vecsum-20KB", isa::vector_sum_source(0x40000, 5120)},
+      {"memcpy-8KB", isa::memcpy_source(0x40000, 0x60000, 2048)},
+      {"sort-1KB", isa::bubble_sort_source(0x40000, 256)},
+      {"matmul-24x24", isa::matmul_source(0x40000, 0x50000, 0x60000, 24)},
+      {"stride-64B-32KB", isa::stride_walk_source(0x40000, 8192, 64, 32768)},
+  };
+}
+
+double miss_rate_for(cache::MapperKind mapper, const Kernel& kernel,
+                     std::uint64_t seed) {
+  sim::Machine machine(
+      sim::arm920t_config(mapper, mapper == cache::MapperKind::kModulo
+                                      ? cache::MapperKind::kModulo
+                                      : cache::MapperKind::kHashRp,
+                          mapper == cache::MapperKind::kModulo
+                              ? cache::ReplacementKind::kLru
+                              : cache::ReplacementKind::kRandom),
+      std::make_shared<rng::XorShift64Star>(seed));
+  machine.hierarchy().set_seed(kVictim, Seed{rng::derive_seed(seed, 1)});
+  machine.set_process(kVictim);
+  isa::Interpreter interp(machine);
+  interp.load_program(isa::assemble(kernel.source, 0x1000));
+  (void)interp.run(0x1000, 50'000'000);
+  return machine.hierarchy().l1d().stats().miss_rate();
+}
+
+Json run_sec623(const RunOptions& options) {
+  const std::vector<Kernel> kernels = kernel_suite();
+  const std::vector<cache::MapperKind> mappers{
+      cache::MapperKind::kModulo, cache::MapperKind::kXorIndex,
+      cache::MapperKind::kHashRp, cache::MapperKind::kRandomModulo};
+
+  ThreadPool pool(options.workers);
+  // One task per (kernel, mapper) cell; random designs average 8 seeds.
+  const std::vector<double> rates = parallel_map(
+      pool, kernels.size() * mappers.size(), [&](std::size_t task) {
+        const Kernel& kernel = kernels[task / mappers.size()];
+        const cache::MapperKind mapper = mappers[task % mappers.size()];
+        const int reps = mapper == cache::MapperKind::kModulo ? 1 : 8;
+        double acc = 0;
+        for (int r = 0; r < reps; ++r) {
+          acc += miss_rate_for(mapper, kernel, 1000 + r * 77);
+        }
+        return acc / reps;
+      });
+
+  Json miss_rows = Json::array();
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    Json row = Json::object();
+    row.set("kernel", kernels[k].name)
+        .set("modulo", rates[k * mappers.size()])
+        .set("xor_index", rates[k * mappers.size() + 1])
+        .set("hashRP", rates[k * mappers.size() + 2])
+        .set("RM", rates[k * mappers.size() + 3]);
+    miss_rows.push(std::move(row));
+  }
+
+  // Seed-change cost: pipeline drain + seed-register updates.
+  Cycles seed_change_cost = 0;
+  {
+    sim::Machine machine(
+        sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                            cache::MapperKind::kHashRp,
+                            cache::ReplacementKind::kRandom),
+        std::make_shared<rng::XorShift64Star>(7));
+    const Cycles before = machine.now();
+    machine.set_seed(kVictim, Seed{123});
+    seed_change_cost = machine.now() - before;
+  }
+
+  // Flush overhead share per hyperperiod length.
+  Json flush_rows = Json::array();
+  for (const Cycles tick : {Cycles{250}, Cycles{1000}, Cycles{4000}}) {
+    sim::Machine machine(
+        sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                            cache::MapperKind::kHashRp,
+                            cache::ReplacementKind::kRandom),
+        std::make_shared<rng::XorShift64Star>(9));
+    os::CyclicExecutive exec(machine, os::figure3_app(tick),
+                             os::SeedPolicy::kPerSwcHyperperiod,
+                             options.master_seed);
+    const Cycles start = machine.now();
+    const std::uint64_t flushes_before = machine.stats().flushes;
+    exec.run(8);
+    const Cycles total = machine.now() - start;
+    const std::uint64_t flushes = machine.stats().flushes - flushes_before;
+    const Cycles flush_cost_each = [] {
+      sim::Machine probe(
+          sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                              cache::MapperKind::kHashRp,
+                              cache::ReplacementKind::kRandom),
+          std::make_shared<rng::XorShift64Star>(10));
+      probe.set_process(kVictim);
+      for (Addr a = 0; a < 128 * 1024; a += 32) probe.load(0x100, 0x200000 + a);
+      const Cycles t0 = probe.now();
+      probe.flush_caches();
+      return probe.now() - t0;
+    }();
+    Json row = Json::object();
+    row.set("hyperperiod_cycles", exec.hyperperiod())
+        .set("total_cycles", total)
+        .set("flush_cycles", flushes * flush_cost_each)
+        .set("flush_share", static_cast<double>(flushes * flush_cost_each) /
+                                static_cast<double>(total));
+    flush_rows.push(std::move(row));
+  }
+
+  Json j = Json::object();
+  j.set("l1d_miss_rates", std::move(miss_rows))
+      .set("seed_change_cycles", seed_change_cost)
+      .set("flush_overhead", std::move(flush_rows));
+  return j;
+}
+
+// --- ablation: attack strength vs sample count -----------------------------
+
+Json run_ablation_samples(const RunOptions& options) {
+  const std::size_t top = options.resolve_samples(200'000);
+  const std::vector<std::size_t> sweep{top / 8, top / 4, top / 2, top};
+
+  Json rows = Json::array();
+  for (const std::size_t samples : sweep) {
+    for (const core::SetupKind kind :
+         {core::SetupKind::kDeterministic, core::SetupKind::kTsCache}) {
+      ShardedConfig config = sharded_config(options, samples);
+      config.base.samples = std::max<std::size_t>(1, samples);
+      const ShardedCampaignResult r = run_sharded_bernstein(kind, config);
+      Json row = Json::object();
+      row.set("samples", r.victim.profile.samples())
+          .set("setup", core::to_string(kind))
+          .set("bits_determined", r.attack.bits_determined())
+          .set("effective_log2_keyspace", r.attack.effective_log2_keyspace())
+          .set("deceived_bytes", r.attack.deceived_bytes());
+      rows.push(std::move(row));
+    }
+  }
+  Json j = Json::object();
+  j.set("sweep", std::move(rows));
+  return j;
+}
+
+// --- ablation: seed-change granularity -------------------------------------
+
+Json run_ablation_seedpolicy(const RunOptions& options) {
+  const std::vector<std::uint64_t> hyperperiods{
+      1, 64, 1024, 8192, std::uint64_t{1} << 40};
+
+  Json rows = Json::array();
+  for (const std::uint64_t hp : hyperperiods) {
+    ShardedConfig config = sharded_config(options, 100'000);
+    config.base.hyperperiod_jobs = hp;
+    const ShardedCampaignResult r =
+        run_sharded_bernstein(core::SetupKind::kTsCache, config);
+    int significant = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (r.attack.bytes[static_cast<std::size_t>(i)].significant_count > 0) {
+        ++significant;
+      }
+    }
+    Json row = Json::object();
+    row.set("reseed_every_jobs",
+            hp >= (std::uint64_t{1} << 40) ? Json("never") : Json(hp))
+        .set("bits_determined", r.attack.bits_determined())
+        .set("effective_log2_keyspace", r.attack.effective_log2_keyspace())
+        .set("mean_cycles", r.victim.profile.global_mean())
+        .set("significant_bytes", significant);
+    rows.push(std::move(row));
+  }
+  Json j = Json::object();
+  j.set("setup", "TSCache").set("sweep", std::move(rows));
+  return j;
+}
+
+// --- ablation: way-partitioning vs TSCache ---------------------------------
+
+Json run_ablation_partitioning(const RunOptions& options) {
+  struct Config {
+    std::string label;
+    core::SetupKind kind;
+    bool partition;
+    bool reseed;
+  };
+  const std::vector<Config> configs{
+      {"deterministic", core::SetupKind::kDeterministic, false, false},
+      {"deterministic+partition", core::SetupKind::kDeterministic, true,
+       false},
+      {"TSCache (no reseed)", core::SetupKind::kTsCache, false, false},
+      {"TSCache (reseed per run)", core::SetupKind::kTsCache, false, true},
+  };
+  const auto trials = static_cast<unsigned>(options.resolve_samples(192));
+
+  const auto apply_partition = [](core::Setup& setup) {
+    setup.machine().hierarchy().l1d().set_way_partition(kVictim, 0, 2);
+    setup.machine().hierarchy().l1d().set_way_partition(kAttacker, 2, 2);
+  };
+
+  ThreadPool pool(options.workers);
+  // Two tasks per configuration: attack accuracy and victim miss rate.
+  const std::vector<double> metrics = parallel_map(
+      pool, configs.size() * 2, [&](std::size_t task) {
+        const Config& cfg = configs[task / 2];
+        if (task % 2 == 0) {  // Prime+Probe accuracy
+          core::Setup setup(cfg.kind, 77);
+          setup.register_process(kVictim);
+          setup.register_process(kAttacker);
+          if (cfg.partition) apply_partition(setup);
+          setup.set_hyperperiod_jobs(1);
+          std::uint64_t job = 0;
+          const attack::TrialHook hook = [&] {
+            if (!cfg.reseed) return;
+            setup.before_job(kVictim, job);
+            setup.before_job(kAttacker, job);
+            ++job;
+          };
+          attack::ContentionConfig attack_cfg;
+          attack_cfg.candidates = 32;
+          attack_cfg.trials = trials;
+          rng::XorShift64Star rng(4321);
+          return attack::run_prime_probe(setup.machine(), kVictim, kAttacker,
+                                         attack_cfg, rng, hook)
+              .accuracy();
+        }
+        // Victim miss rate on a working set sized for the full cache.
+        core::Setup setup(cfg.kind, 78);
+        setup.register_process(kVictim);
+        if (cfg.partition) apply_partition(setup);
+        sim::Machine& m = setup.machine();
+        m.set_process(kVictim);
+        isa::Interpreter interp(m);
+        interp.load_program(isa::assemble(
+            isa::stride_walk_source(0x300000, 8192, 32, 16 * 1024), 0x310000));
+        (void)interp.run(0x310000, 50'000'000);
+        return m.hierarchy().l1d().stats().miss_rate();
+      });
+
+  Json rows = Json::array();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    Json row = Json::object();
+    row.set("configuration", configs[i].label)
+        .set("prime_probe_accuracy", metrics[i * 2])
+        .set("victim_l1d_miss_rate", metrics[i * 2 + 1]);
+    rows.push(std::move(row));
+  }
+  Json j = Json::object();
+  j.set("trials", trials)
+      .set("chance", 1.0 / 32)
+      .set("configurations", std::move(rows));
+  return j;
+}
+
+}  // namespace
+
+const std::vector<Experiment>& all_experiments() {
+  static const std::vector<Experiment> experiments{
+      {"fig1", "MBPTA process and pWCET curve (paper Figure 1)", run_fig1},
+      {"fig2", "hashRP / RM placement properties (paper Figure 2)", run_fig2},
+      {"fig3", "AUTOSAR app and seed management (paper Figure 3)", run_fig3},
+      {"fig4", "per-value timing variation of input byte 4 (paper Figure 4)",
+       run_fig4},
+      {"fig5", "Bernstein attack effectiveness, 4 setups (paper Figure 5)",
+       run_fig5},
+      {"sec621", "Prime+Probe / Evict+Time generalization (section 6.2.1)",
+       run_sec621},
+      {"sec622", "MBPTA compliance: Ljung-Box + KS (section 6.2.2)",
+       run_sec622},
+      {"sec623", "overheads: miss rates, seed change, flush (section 6.2.3)",
+       run_sec623},
+      {"ablation_samples", "attack strength vs per-side sample count",
+       run_ablation_samples},
+      {"ablation_seedpolicy", "seed-change granularity sweep (section 5)",
+       run_ablation_seedpolicy},
+      {"ablation_partitioning", "way-partitioning vs TSCache (section 7)",
+       run_ablation_partitioning},
+  };
+  return experiments;
+}
+
+const Experiment* find_experiment(const std::string& name) {
+  for (const Experiment& e : all_experiments()) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace tsc::runner

@@ -1,0 +1,123 @@
+#include "runner/sharded.h"
+
+#include <algorithm>
+
+#include "rng/rng.h"
+
+namespace tsc::runner {
+namespace {
+
+/// Domain-separation tag for the shard plaintext-stream tree (distinct
+/// from every tag the core campaign derives: 0x6E1 keys, 0x1A707 layouts,
+/// 0xB10C plaintext streams).
+constexpr std::uint64_t kShardDomain = 0x5'AA4D'0000;
+
+MergedSide merge_sides(std::vector<core::SideResult> shards,
+                       const crypto::Key& key) {
+  MergedSide merged;
+  merged.key = key;
+  for (const core::SideResult& shard : shards) {
+    merged.profile.merge(shard.profile);
+    for (const double t : shard.timings) merged.time_stats.add(t);
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::uint64_t shard_plaintext_stream(std::uint64_t base_stream,
+                                     std::size_t index) {
+  if (index == 0) return base_stream;
+  return rng::derive_seed(rng::derive_seed(base_stream, kShardDomain),
+                          static_cast<std::uint64_t>(index));
+}
+
+std::vector<core::CampaignConfig> plan_shards(const core::CampaignConfig& base,
+                                              std::size_t shard_size) {
+  const std::size_t size = std::max<std::size_t>(1, shard_size);
+  const std::size_t count = std::max<std::size_t>(1, (base.samples + size - 1) / size);
+  std::vector<core::CampaignConfig> shards;
+  shards.reserve(count);
+  std::size_t remaining = base.samples;
+  std::size_t window_start = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    core::CampaignConfig shard = base;
+    shard.samples = std::min(size, remaining);
+    // The deployment is shared by every shard: master_seed (hence machine
+    // layouts, per-process cache seeds, the victim key) and the victim
+    // binary's noise pattern stay put.  MBPTACache's stable shared layout
+    // and RPCache's fixed per-process tables - the very leaks fig5
+    // measures - therefore accumulate across shards exactly as in one
+    // continuous campaign.  What distinguishes shards:
+    //   * an independent plaintext stream (fresh measurement inputs;
+    //     shard 0 keeps the base stream so a single-shard run reproduces
+    //     core::run_bernstein_campaign bit-for-bit), and
+    //   * the job window, so TSCache's job-indexed reseed schedule
+    //     replays as in the unsharded run.
+    shard.plaintext_stream = shard_plaintext_stream(base.plaintext_stream, i);
+    shard.job_offset = base.job_offset + window_start;
+    shards.push_back(shard);
+    window_start += shard.samples;
+    remaining -= shard.samples;
+  }
+  return shards;
+}
+
+MergedSide run_sharded_victim(core::SetupKind kind,
+                              const ShardedConfig& config,
+                              std::uint64_t party_tag,
+                              const crypto::Key& key) {
+  const std::vector<core::CampaignConfig> shards =
+      plan_shards(config.base, config.shard_size);
+  ThreadPool pool(config.workers);
+  std::vector<core::SideResult> results = parallel_map(
+      pool, shards.size(), [&](std::size_t i) {
+        return core::run_victim_side(kind, shards[i], party_tag, key);
+      });
+  return merge_sides(std::move(results), key);
+}
+
+ShardedCampaignResult run_sharded_bernstein(core::SetupKind kind,
+                                            const ShardedConfig& config) {
+  const std::vector<core::CampaignConfig> shards =
+      plan_shards(config.base, config.shard_size);
+  const crypto::Key victim_key =
+      core::campaign_victim_key(config.base.master_seed);
+  const crypto::Key attacker_key{};  // all-zero: Bernstein's known key
+
+  struct ShardOutcome {
+    core::SideResult victim;
+    core::SideResult attacker;
+  };
+  ThreadPool pool(config.workers);
+  // One task per (shard, party): the two sides of a shard are themselves
+  // independent sessions, so they parallelize too.
+  std::vector<core::SideResult> sides = parallel_map(
+      pool, shards.size() * 2, [&](std::size_t task) {
+        const std::size_t shard = task / 2;
+        const bool is_victim = task % 2 == 0;
+        return core::run_victim_side(kind, shards[shard],
+                                     /*party_tag=*/is_victim ? 1 : 2,
+                                     is_victim ? victim_key : attacker_key);
+      });
+
+  std::vector<core::SideResult> victims;
+  std::vector<core::SideResult> attackers;
+  victims.reserve(shards.size());
+  attackers.reserve(shards.size());
+  for (std::size_t i = 0; i < sides.size(); ++i) {
+    (i % 2 == 0 ? victims : attackers).push_back(std::move(sides[i]));
+  }
+
+  ShardedCampaignResult result;
+  result.kind = kind;
+  result.shard_count = shards.size();
+  result.victim = merge_sides(std::move(victims), victim_key);
+  result.attacker = merge_sides(std::move(attackers), attacker_key);
+  result.attack =
+      attack::bernstein_attack(result.victim.profile, result.attacker.profile,
+                               attacker_key, victim_key);
+  return result;
+}
+
+}  // namespace tsc::runner

@@ -1,0 +1,14 @@
+// tsc_run - the unified experiment driver.
+//
+//   tsc_run --list
+//   tsc_run --experiment fig5 --samples 20000 --shards 8 --json
+//
+// Every paper figure, evaluation section and ablation is a registered
+// experiment (src/runner/experiments.cc).  Results are printed as JSON on
+// stdout; the document is bit-identical for any --shards value (worker
+// count is a throughput knob, never a semantic one).
+#include "runner/experiment.h"
+
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("", argc, argv);
+}

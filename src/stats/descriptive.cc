@@ -61,6 +61,15 @@ double autocorrelation(std::span<const double> xs, std::size_t lag) {
   return num / den;
 }
 
+double Descriptive::variance() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  const double ss = sum_sq_ - sum_ * m;
+  return std::max(0.0, ss / static_cast<double>(n_ - 1));
+}
+
+double Descriptive::stddev() const { return std::sqrt(variance()); }
+
 Summary summarize(std::span<const double> xs) {
   assert(xs.size() >= 2);
   Summary s;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,61 @@ namespace tsc::stats {
 /// standard biased estimator r_k = c_k / c_0 as consumed by Ljung-Box.
 [[nodiscard]] double autocorrelation(std::span<const double> xs,
                                      std::size_t lag);
+
+/// Streaming moment accumulator for execution-time samples.
+///
+/// Keeps raw moment sums (n, sum x, sum x^2) plus min/max, so two
+/// accumulators built over disjoint sample subsets can be combined with
+/// merge() without re-scanning the concatenated samples.  Cycle counts are
+/// integer-valued doubles, so the sums are exact (and the merge therefore
+/// associative and commutative bit-for-bit) as long as sum x^2 stays below
+/// 2^53 - comfortably beyond any campaign this library runs.  Quantiles
+/// need the full sample and are out of scope; use summarize() for those.
+class Descriptive {
+ public:
+  void add(double x) {
+    n_ += 1;
+    sum_ += x;
+    sum_sq_ += x * x;
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Fold another accumulator into this one.
+  void merge(const Descriptive& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (n_ == 0 || other.max_ > max_) max_ = other.max_;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Precondition: count() >= 1.
+  [[nodiscard]] double mean() const { return sum_ / static_cast<double>(n_); }
+
+  /// Unbiased sample variance (divides by n-1), clamped at 0 against the
+  /// tiny negative values the moment formula can produce for near-constant
+  /// samples.  Returns 0 for fewer than two samples (a single timing
+  /// carries no spread information; callers like the JSON reporters must
+  /// stay total).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Precondition: count() >= 1.
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
 
 /// Full five-number-style summary for experiment reports.
 struct Summary {

@@ -188,5 +188,46 @@ TEST(AttackResultTest, Figure5RowMarksFeasibleCells) {
   EXPECT_EQ(greys + whites + 1, 256);
 }
 
+
+TEST(TimingProfileTest, MergeMatchesSequentialAccumulationBitExactly) {
+  rng::XorShift64Star g(99);
+  TimingProfile whole;
+  TimingProfile part_a;
+  TimingProfile part_b;
+  for (int i = 0; i < 500; ++i) {
+    const crypto::Block blk = random_block(g);
+    const auto cycles = static_cast<double>(900 + g.next_below(300));
+    whole.add(blk, cycles);
+    (i < 200 ? part_a : part_b).add(blk, cycles);
+  }
+  TimingProfile merged = part_a;
+  merged.merge(part_b);
+  EXPECT_EQ(merged.samples(), whole.samples());
+  // Integer-valued cycle sums are exact, so every derived statistic must be
+  // bit-identical, not merely close.
+  EXPECT_EQ(merged.global_mean(), whole.global_mean());
+  for (int pos = 0; pos < TimingProfile::kPositions; ++pos) {
+    for (int v = 0; v < TimingProfile::kValues; ++v) {
+      EXPECT_EQ(merged.cell_count(pos, v), whole.cell_count(pos, v));
+      EXPECT_EQ(merged.cell_mean(pos, v), whole.cell_mean(pos, v));
+      EXPECT_EQ(merged.deviation(pos, v), whole.deviation(pos, v));
+    }
+  }
+}
+
+TEST(TimingProfileTest, MergeEmptyIsIdentity) {
+  rng::XorShift64Star g(7);
+  TimingProfile p;
+  p.add(random_block(g), 123.0);
+  const double before = p.global_mean();
+  p.merge(TimingProfile{});
+  EXPECT_EQ(p.samples(), 1u);
+  EXPECT_EQ(p.global_mean(), before);
+  TimingProfile empty;
+  empty.merge(p);
+  EXPECT_EQ(empty.samples(), 1u);
+  EXPECT_EQ(empty.global_mean(), before);
+}
+
 }  // namespace
 }  // namespace tsc::attack

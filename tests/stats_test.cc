@@ -265,5 +265,69 @@ TEST(HistogramTest, RenderContainsBars) {
   EXPECT_NE(out.find("##########"), std::string::npos);
 }
 
+
+TEST(DescriptiveAccumulator, MatchesWholeSampleFunctions) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  Descriptive acc;
+  for (const double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_DOUBLE_EQ(acc.mean(), mean(xs));
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), min(xs));
+  EXPECT_DOUBLE_EQ(acc.max(), max(xs));
+}
+
+TEST(DescriptiveAccumulator, MergeMatchesSequentialBitExactly) {
+  // Integer-valued samples (like cycle counts): moment sums are exact, so
+  // split-then-merge must equal straight-through accumulation bitwise.
+  rng::XorShift64Star g(4242);
+  Descriptive whole;
+  Descriptive parts[4];
+  for (int i = 0; i < 4000; ++i) {
+    const auto x = static_cast<double>(500 + g.next_below(2000));
+    whole.add(x);
+    parts[i % 4].add(x);
+  }
+  Descriptive merged;
+  for (const Descriptive& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.sum(), whole.sum());
+  EXPECT_EQ(merged.mean(), whole.mean());
+  EXPECT_EQ(merged.variance(), whole.variance());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+}
+
+TEST(DescriptiveAccumulator, MergeWithEmptySides) {
+  Descriptive a;
+  Descriptive b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);            // empty.merge(nonempty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  a.merge(Descriptive{});  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(DescriptiveAccumulator, VarianceIsTotalBelowTwoSamples) {
+  // Single-timing campaigns (e.g. --samples 1 smoke runs) reach the JSON
+  // reporters; variance must stay defined, not assert or divide by zero.
+  Descriptive acc;
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(123.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(DescriptiveAccumulator, NearConstantVarianceClampedAtZero) {
+  Descriptive acc;
+  for (int i = 0; i < 100; ++i) acc.add(1e9 + 0.0);
+  EXPECT_GE(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
 }  // namespace
 }  // namespace tsc::stats
