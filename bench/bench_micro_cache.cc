@@ -8,11 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "cache/benes.h"
 #include "cache/builder.h"
 #include "cache/placement.h"
 #include "rng/rng.h"
+#include "sim/machine.h"
 
 namespace {
 
@@ -54,6 +56,53 @@ BENCHMARK_CAPTURE(BM_CacheAccess, modulo_lru, cache::MapperKind::kModulo);
 BENCHMARK_CAPTURE(BM_CacheAccess, rm_random, cache::MapperKind::kRandomModulo);
 BENCHMARK_CAPTURE(BM_CacheAccess, hashrp_random, cache::MapperKind::kHashRp);
 BENCHMARK_CAPTURE(BM_CacheAccess, rpcache, cache::MapperKind::kRpCache);
+
+// Hit-dominated variant: a working set the cache holds (the regime real
+// campaigns run in - AES tables and stacks stay resident between misses).
+void BM_CacheAccessHit(benchmark::State& state, cache::MapperKind mapper) {
+  cache::CacheSpec spec;
+  spec.config.geometry = cache::l1_geometry_arm920t();
+  spec.mapper = mapper;
+  spec.replacement = mapper == cache::MapperKind::kModulo
+                         ? cache::ReplacementKind::kLru
+                         : cache::ReplacementKind::kRandom;
+  auto rng = std::make_shared<rng::XorShift64Star>(1);
+  auto cache_model = cache::build_cache(spec, rng);
+  Addr addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache_model->access(ProcId{1}, addr, false));
+    addr = (addr + 32) & 0x1FFF;  // 8KB walk inside a 16KB cache
+  }
+}
+BENCHMARK_CAPTURE(BM_CacheAccessHit, modulo_lru, cache::MapperKind::kModulo);
+BENCHMARK_CAPTURE(BM_CacheAccessHit, rm_random,
+                  cache::MapperKind::kRandomModulo);
+BENCHMARK_CAPTURE(BM_CacheAccessHit, hashrp_random, cache::MapperKind::kHashRp);
+BENCHMARK_CAPTURE(BM_CacheAccessHit, rpcache, cache::MapperKind::kRpCache);
+
+// Batched replay through the full machine (paper platform, TSCache design):
+// the amortized entry point the campaign inner loops drive.
+void BM_MachineRunBatch(benchmark::State& state) {
+  auto config = sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                                    cache::MapperKind::kHashRp,
+                                    cache::ReplacementKind::kRandom);
+  sim::Machine machine(config, std::make_shared<rng::XorShift64Star>(7));
+  machine.hierarchy().set_seed(ProcId{1}, Seed{2018});
+  machine.set_process(ProcId{1});
+  std::vector<sim::AccessRecord> batch;
+  rng::SplitMix64 r(5);
+  for (int i = 0; i < 1024; ++i) {
+    batch.push_back(sim::AccessRecord::make_load(
+        0x1000 + (r.next_u64() & 0xFF0), 0x80000 + (r.next_u64() & 0xFFF0)));
+  }
+  for (auto _ : state) {
+    machine.run(batch);
+    benchmark::DoNotOptimize(machine.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_MachineRunBatch);
 
 void BM_BenesPermutation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

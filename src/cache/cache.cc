@@ -1,9 +1,67 @@
 #include "cache/cache.h"
 
+#include <bit>
 #include <cassert>
+#include <cstring>
 #include <utility>
 
+#if defined(__SSE4_1__)
+#include <immintrin.h>
+#endif
+
 namespace tsc::cache {
+namespace {
+
+/// Specialized replacement dispatch: identical to repl_touch/repl_fill/
+/// repl_victim (replacement_ops.h) but with the policy kind and, when
+/// WAYS > 0, the way count known at compile time, so the kernels inline and
+/// their loops unroll.
+template <ReplacementKind RK, int WAYS>
+inline void touch_spec(const ReplacementFast& f, std::uint32_t set,
+                       std::uint32_t way) {
+  const std::uint32_t ways = WAYS > 0 ? WAYS : f.ways;
+  if constexpr (RK == ReplacementKind::kLru) {
+    repl_ops::lru_touch(f.meta8 + std::size_t{set} * ways, ways, way);
+  } else if constexpr (RK == ReplacementKind::kPlru) {
+    repl_ops::plru_touch(f.meta8 + std::size_t{set} * (ways - 1), ways, way);
+  } else if constexpr (RK == ReplacementKind::kNmru) {
+    f.meta32[set] = way;
+  }
+  // kFifo / kRandom: hits do not reorder.
+}
+
+template <ReplacementKind RK, int WAYS>
+inline void fill_spec(const ReplacementFast& f, std::uint32_t set,
+                      std::uint32_t way) {
+  if constexpr (RK == ReplacementKind::kFifo) {
+    const std::uint32_t ways = WAYS > 0 ? WAYS : f.ways;
+    f.meta32[set] = (way + 1) % ways;
+  } else if constexpr (RK == ReplacementKind::kRandom) {
+    // no metadata
+  } else {
+    touch_spec<RK, WAYS>(f, set, way);
+  }
+}
+
+template <ReplacementKind RK, int WAYS>
+[[nodiscard]] inline std::uint32_t victim_spec(const ReplacementFast& f,
+                                               std::uint32_t set) {
+  const std::uint32_t ways = WAYS > 0 ? WAYS : f.ways;
+  if constexpr (RK == ReplacementKind::kLru) {
+    return repl_ops::lru_victim(f.meta8 + std::size_t{set} * ways, ways);
+  } else if constexpr (RK == ReplacementKind::kFifo) {
+    return f.meta32[set];
+  } else if constexpr (RK == ReplacementKind::kRandom) {
+    return static_cast<std::uint32_t>(repl_draw(f, ways));
+  } else if constexpr (RK == ReplacementKind::kPlru) {
+    return repl_ops::plru_victim(f.meta8 + std::size_t{set} * (ways - 1),
+                                 ways);
+  } else {
+    return repl_ops::nmru_victim(f.meta32[set], ways, f);
+  }
+}
+
+}  // namespace
 
 Cache::Cache(CacheConfig config, std::unique_ptr<IndexMapper> mapper,
              std::unique_ptr<Replacement> replacement,
@@ -12,178 +70,547 @@ Cache::Cache(CacheConfig config, std::unique_ptr<IndexMapper> mapper,
       mapper_(std::move(mapper)),
       replacement_(std::move(replacement)),
       rng_(std::move(rng)),
-      lines_(static_cast<std::size_t>(config.geometry.sets()) *
-             config.geometry.ways()) {
+      tagv_(static_cast<std::size_t>(config.geometry.sets()) *
+            config.geometry.ways()),
+      owner_(tagv_.size()),
+      dirty_(tagv_.size()) {
   assert(mapper_ != nullptr);
   assert(replacement_ != nullptr);
-  assert((!mapper_->secure_contention_policy() || rng_ != nullptr) &&
+  repl_ = replacement_->fast();
+  secure_contention_ = mapper_->secure_contention_policy();
+  access_fn_ = pick_access_fn();
+  line_shift_ = config_.geometry.offset_bits();
+  sets_mask_ = config_.geometry.sets() - 1;
+  slow_fill_ = config_.random_fill_window > 0;
+  assert((!secure_contention_ || rng_ != nullptr) &&
          "the secure contention rule draws random sets/ways");
+  assert(secure_contention_ ==
+             (mapper_->mapping_kind() == MappingKind::kRpCache) &&
+         "the specialized access path ties the secure contention rule to "
+         "the RPCache mapping kind");
   assert((config_.random_fill_window == 0 || rng_ != nullptr) &&
          "random fill draws random neighbour lines");
 }
 
-AccessResult Cache::access(ProcId proc, Addr addr, bool write) {
-  const Geometry& geo = config_.geometry;
-  const Addr line = geo.line_addr(addr);
-  const std::uint32_t set = mapper_->map(line, proc);
+const ResolvedMapping& Cache::resolve_context(ProcId proc) const {
+  if (proc.value >= contexts_.size()) contexts_.resize(proc.value + 1);
+  ResolvedMapping& ctx = contexts_[proc.value];
+  mapper_->resolve(proc, ctx);
+  ctx.valid = true;
+  // Refresh the inline hot views.  A resize above may have moved every
+  // context, so rebuild all of them, not just this process's.
+  const std::size_t n = std::min<std::size_t>(kHotCtx, contexts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const ResolvedMapping& c = contexts_[i];
+    HotCtx& h = hot_[i];
+    if (!c.valid) continue;
+    switch (c.kind) {
+      case MappingKind::kModulo:
+      case MappingKind::kXorIndex:
+        h.word = c.xor_mask;
+        h.ptr = &c;  // any stable non-null: marks the entry resolved
+        break;
+      case MappingKind::kHashRp:
+        h.ptr = &c.hashrp;
+        break;
+      case MappingKind::kRandomModulo:
+        h.word = c.rm_mix;
+        h.ptr = c.rm;
+        break;
+      case MappingKind::kRpCache:
+        h.ptr = c.rp_table;
+        break;
+    }
+  }
+  return ctx;
+}
+
+namespace {
+
+/// Devirtualized set computation with the mapping kind as a compile-time
+/// constant, over the one or two resolved words the kind needs.  Each
+/// branch is the resolved form of the corresponding Placement::set_index
+/// (the virtual path runs the same helpers), so the two paths are the same
+/// computation.
+template <MappingKind MK>
+[[nodiscard]] inline std::uint32_t map_fast(std::uint32_t sets_mask,
+                                            std::uint64_t word,
+                                            const void* ptr, Addr line) {
+  const auto idx = static_cast<std::uint32_t>(line) & sets_mask;
+  if constexpr (MK == MappingKind::kModulo) {
+    return idx;  // seedless: no context consulted
+  } else if constexpr (MK == MappingKind::kXorIndex) {
+    return idx ^ static_cast<std::uint32_t>(word);
+  } else if constexpr (MK == MappingKind::kHashRp) {
+    return hashrp_map(*static_cast<const HashRpContext*>(ptr), line);
+  } else if constexpr (MK == MappingKind::kRandomModulo) {
+    return static_cast<const RandomModuloPlacement*>(ptr)->set_index_mixed(
+        line, word);
+  } else {
+    return static_cast<const std::uint32_t*>(ptr)[idx];
+  }
+}
+
+/// The same computation over a full resolved context.
+template <MappingKind MK>
+[[nodiscard]] inline std::uint32_t map_one(std::uint32_t sets_mask,
+                                           const ResolvedMapping* ctx,
+                                           Addr line) {
+  if constexpr (MK == MappingKind::kModulo) {
+    return map_fast<MK>(sets_mask, 0, nullptr, line);
+  } else if constexpr (MK == MappingKind::kXorIndex) {
+    return map_fast<MK>(sets_mask, ctx->xor_mask, nullptr, line);
+  } else if constexpr (MK == MappingKind::kHashRp) {
+    return map_fast<MK>(sets_mask, 0, &ctx->hashrp, line);
+  } else if constexpr (MK == MappingKind::kRandomModulo) {
+    return map_fast<MK>(sets_mask, ctx->rm_mix, ctx->rm, line);
+  } else {
+    return map_fast<MK>(sets_mask, 0, ctx->rp_table, line);
+  }
+}
+
+}  // namespace
+
+std::uint32_t Cache::map_set(const ResolvedMapping& ctx, Addr line) const {
+  switch (ctx.kind) {
+    case MappingKind::kModulo:
+      return map_one<MappingKind::kModulo>(sets_mask_, &ctx, line);
+    case MappingKind::kXorIndex:
+      return map_one<MappingKind::kXorIndex>(sets_mask_, &ctx, line);
+    case MappingKind::kHashRp:
+      return map_one<MappingKind::kHashRp>(sets_mask_, &ctx, line);
+    case MappingKind::kRandomModulo:
+      return map_one<MappingKind::kRandomModulo>(sets_mask_, &ctx, line);
+    case MappingKind::kRpCache:
+      return map_one<MappingKind::kRpCache>(sets_mask_, &ctx, line);
+  }
+  return 0;
+}
+
+template <MappingKind MK, ReplacementKind RK, int WAYS>
+AccessResult Cache::access_impl(Cache& self, ProcId proc, Addr addr,
+                                bool write) {
+  const Geometry& geo = self.config_.geometry;
+  const Addr line = addr >> self.line_shift_;
+  // Resolve the mapping view.  Modulo is seedless (no probe at all); small
+  // process ids - all of them, in practice - read the inline hot view;
+  // anything else falls back to the full context path.
+  std::uint32_t set;
+  if constexpr (MK == MappingKind::kModulo) {
+    set = map_fast<MK>(self.sets_mask_, 0, nullptr, line);
+  } else {
+    const std::size_t pi = proc.value;
+    if (pi < kHotCtx) [[likely]] {
+      if (self.hot_[pi].ptr == nullptr) [[unlikely]] {
+        self.resolve_context(proc);
+      }
+      const HotCtx& hc = self.hot_[pi];
+      set = map_fast<MK>(self.sets_mask_, hc.word, hc.ptr, line);
+    } else {
+      set = self.map_set(self.context(proc), line);
+    }
+  }
   assert(set < geo.sets());
 
-  AccessResult result;
-  result.set = set;
-  ++stats_.accesses;
+  ++self.stats_.accesses;
 
-  // Lookup.
-  for (std::uint32_t w = 0; w < geo.ways(); ++w) {
-    Line& l = line_at(set, w);
-    if (l.valid && l.line_addr == line) {
-      ++stats_.hits;
-      result.hit = true;
-      replacement_->touch(set, w);
-      if (write && config_.write_back) l.dirty = true;
+  // Lookup: packed (line << 1 | valid) words - one equality per way, an
+  // invalid way can never match a probe whose valid bit is set.
+  const std::uint32_t ways = WAYS > 0 ? WAYS : geo.ways();
+  const std::size_t base = static_cast<std::size_t>(set) * ways;
+  const std::uint64_t probe = (line << 1) | 1;
+  const std::uint64_t* tv = self.tagv_.data() + base;
+
+  if constexpr (WAYS > 0) {
+    // Specialized scan: one pass yields both the match mask and the
+    // valid-ways mask for the miss path.  Results are constructed whole at
+    // each return so they live in registers.
+    std::uint32_t eq_mask;
+    std::uint32_t valid_mask;
+#if defined(__SSE4_1__)
+    if constexpr (WAYS == 4) {
+      // Two 128-bit compares cover the whole set; the valid bits ride along
+      // as the sign of each word shifted left by 63.
+      const __m128i vp = _mm_set1_epi64x(static_cast<long long>(probe));
+      const __m128i lo =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tv));
+      const __m128i hi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tv + 2));
+      eq_mask = static_cast<std::uint32_t>(
+          _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(lo, vp))) |
+          (_mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(hi, vp))) << 2));
+      valid_mask = static_cast<std::uint32_t>(
+          _mm_movemask_pd(_mm_castsi128_pd(_mm_slli_epi64(lo, 63))) |
+          (_mm_movemask_pd(_mm_castsi128_pd(_mm_slli_epi64(hi, 63))) << 2));
+    } else
+#endif
+    {
+      eq_mask = 0;
+      valid_mask = 0;
+      for (std::uint32_t w = 0; w < WAYS; ++w) {
+        const std::uint64_t word = tv[w];
+        eq_mask |= (word == probe ? 1u : 0u) << w;
+        valid_mask |= static_cast<std::uint32_t>(word & 1) << w;
+      }
+    }
+
+    if (eq_mask != 0) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(eq_mask));
+      ++self.stats_.hits;
+      touch_spec<RK, WAYS>(self.repl_, set, w);
+      if (write && self.config_.write_back) self.dirty_[base + w] = 1;
+      return AccessResult{true, false, true, false, set, 0};
+    }
+
+    // Miss (stats().misses derives from accesses - hits).
+    if (write && !self.config_.write_allocate) {
+      return AccessResult{false, false, false, false, set, 0};
+      // write-around: memory handles it
+    }
+
+    // Uncommon configurations leave through one outlined slow path so this
+    // function stays a leaf (no spills, no frame on the common route).
+    // slow_fill_ over-approximates (a write miss under random fill takes it
+    // too); access_slow re-applies the exact rules, so results match.
+    if (self.slow_fill_) [[unlikely]] {
+      return access_slow<MK, RK, WAYS>(self, proc, line, set, write);
+    }
+
+    // Fast unpartitioned fill: reuse the lookup pass's valid mask for the
+    // invalid-way preference, and fold the eviction's bookkeeping into the
+    // install (one store to the line word instead of clear-then-write).
+    constexpr std::uint32_t kAll = (1u << WAYS) - 1;
+    constexpr bool kFusedLru = RK == ReplacementKind::kLru && WAYS == 4;
+    const bool want_dirty = write && self.config_.write_back;
+    std::uint32_t way;
+    bool wb = false;
+    bool ev = false;
+    Addr ev_line = 0;
+    std::uint32_t lru_ranks = 0;     // kFusedLru, full set: pre-update ranks
+    bool lru_fused = false;
+    if (valid_mask != kAll) {
+      // Prefer the lowest-numbered invalid way, as the general scan does.
+      way = static_cast<std::uint32_t>(std::countr_zero(~valid_mask & kAll));
+    } else {
+      if constexpr (kFusedLru) {
+        // Fused LRU victim + reorder: with the set full, the per-set ranks
+        // are a permutation of 0..3, so the victim is the way whose rank
+        // byte is 3 and the post-fill ranks are "everyone + 1, victim = 0"
+        // - one 32-bit load/store instead of two byte scans.  The update is
+        // applied at install time, after the secure-contention rule has had
+        // its say.
+        std::memcpy(&lru_ranks, self.repl_.meta8 + std::size_t{set} * 4, 4);
+        const std::uint32_t is3 = lru_ranks ^ 0x03030303u;
+        const std::uint32_t zero_byte =
+            (is3 - 0x01010101u) & ~is3 & 0x80808080u;
+        way = static_cast<std::uint32_t>(std::countr_zero(zero_byte)) >> 3;
+        lru_fused = true;
+      } else {
+        way = victim_spec<RK, WAYS>(self.repl_, set);
+      }
+      if constexpr (MK == MappingKind::kRpCache) {
+        // (The victim is valid here: the set is full.)
+        if (self.owner_[base + way] != proc.value) [[unlikely]] {
+          // RPCache rule: outlined; replacement metadata untouched, as in
+          // the general path (victim selection is read-only).
+          return self.contention_evict(set);
+        }
+      }
+      // Eviction bookkeeping, fused with the install below.
+      const std::size_t vi = base + way;
+      ++self.stats_.evictions;
+      if (self.dirty_[vi] != 0) {
+        ++self.stats_.writebacks;
+        wb = true;
+      }
+      ev = true;
+      ev_line = self.tagv_[vi] >> 1;
+    }
+    const std::size_t di = base + way;
+    self.tagv_[di] = probe;
+    self.owner_[di] = proc.value;
+    self.dirty_[di] = want_dirty ? 1 : 0;
+    if (lru_fused) {
+      const std::uint32_t cleared =
+          (lru_ranks + 0x01010101u) & ~(0xFFu << (8 * way));
+      std::memcpy(self.repl_.meta8 + std::size_t{set} * 4, &cleared, 4);
+    } else {
+      fill_spec<RK, WAYS>(self.repl_, set, way);
+    }
+    return AccessResult{false, wb, true, ev, set, ev_line};
+  } else {
+    const ResolvedMapping* ctx =
+        MK == MappingKind::kModulo ? nullptr : &self.context(proc);
+    AccessResult result;
+    result.set = set;
+    // Generic way count: the straightforward scan (identical decisions,
+    // no mask tricks - way counts above 32 stay correct).
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      if (tv[w] == probe) {
+        ++self.stats_.hits;
+        result.hit = true;
+        touch_spec<RK, WAYS>(self.repl_, set, w);
+        if (write && self.config_.write_back) self.dirty_[base + w] = 1;
+        return result;
+      }
+    }
+
+    if (write && !self.config_.write_allocate) {
+      result.allocated = false;
       return result;
     }
-  }
 
-  // Miss.
-  ++stats_.misses;
-  if (write && !config_.write_allocate) {
-    result.allocated = false;
-    return result;  // write-around: memory handles it
-  }
-
-  if (config_.random_fill_window > 0 && !write) {
-    // Random-fill [18]: serve the demand from memory without caching it;
-    // bring in a random neighbour instead, decoupling fills from accesses.
-    const std::uint64_t span = 2ULL * config_.random_fill_window + 1;
-    const Addr fill_line_addr =
-        line - config_.random_fill_window + rng_->next_below(span);
-    const std::uint32_t fill_set = mapper_->map(fill_line_addr, proc);
-    if (!contains_line(proc, fill_line_addr, fill_set)) {
-      fill_line(proc, fill_line_addr, fill_set, /*dirty=*/false, result);
+    if (self.config_.random_fill_window > 0 && !write) {
+      self.random_fill<MK, RK, WAYS>(ctx, proc, line, result);
+      return result;
     }
-    result.allocated = false;
+
+    self.fill_impl<MK, RK, WAYS>(ctx, proc, line, set,
+                                 write && self.config_.write_back, result);
     return result;
   }
+}
 
-  fill_line(proc, line, set, write && config_.write_back, result);
+template <MappingKind MK, ReplacementKind RK, int WAYS>
+AccessResult Cache::access_slow(Cache& self, ProcId proc, Addr line,
+                                std::uint32_t set, bool write) {
+  const ResolvedMapping* ctx =
+      MK == MappingKind::kModulo ? nullptr : &self.context(proc);
+  AccessResult result;
+  result.set = set;
+  if (self.config_.random_fill_window > 0 && !write) {
+    self.random_fill<MK, RK, WAYS>(ctx, proc, line, result);
+    return result;
+  }
+  self.fill_impl<MK, RK, WAYS>(ctx, proc, line, set,
+                               write && self.config_.write_back, result);
   return result;
 }
 
-bool Cache::contains_line(ProcId, Addr line, std::uint32_t set) const {
-  for (std::uint32_t w = 0; w < config_.geometry.ways(); ++w) {
-    const Line& l = line_at(set, w);
-    if (l.valid && l.line_addr == line) return true;
-  }
-  return false;
+AccessResult Cache::contention_evict(std::uint32_t set) {
+  // RPCache rule: the intended replacement would leak the victim process's
+  // set usage.  Do not allocate; disturb a random (set, way) instead.
+  AccessResult result;
+  result.set = set;
+  result.allocated = false;
+  ++stats_.contention_evictions;
+  const Geometry& geo = config_.geometry;
+  const auto rset = static_cast<std::uint32_t>(rng_->next_below(geo.sets()));
+  const auto rway = static_cast<std::uint32_t>(rng_->next_below(geo.ways()));
+  const std::size_t ri = static_cast<std::size_t>(rset) * geo.ways() + rway;
+  if ((tagv_[ri] & 1) != 0) evict(rset, rway, result);
+  return result;
 }
 
-void Cache::fill_line(ProcId proc, Addr line, std::uint32_t set, bool dirty,
-                      AccessResult& result) {
+template <MappingKind MK, ReplacementKind RK, int WAYS>
+void Cache::random_fill(const ResolvedMapping* ctx, ProcId proc, Addr line,
+                        AccessResult& result) {
+  // Random-fill [18]: serve the demand from memory without caching it;
+  // bring in a random neighbour instead, decoupling fills from accesses.
+  const std::uint64_t span = 2ULL * config_.random_fill_window + 1;
+  const Addr fill_line_addr =
+      line - config_.random_fill_window + rng_->next_below(span);
+  const std::uint32_t fill_set = map_one<MK>(sets_mask_, ctx, fill_line_addr);
+  if (!contains_line(fill_line_addr, fill_set)) {
+    fill_impl<MK, RK, WAYS>(ctx, proc, fill_line_addr, fill_set,
+                            /*dirty=*/false, result);
+  }
+  result.allocated = false;
+}
+
+template <MappingKind MK, ReplacementKind RK, int WAYS>
+void Cache::fill_impl(const ResolvedMapping*, ProcId proc, Addr line,
+                      std::uint32_t set, bool dirty, AccessResult& result) {
   const Geometry& geo = config_.geometry;
+  const std::uint32_t ways = WAYS > 0 ? WAYS : geo.ways();
+  const std::size_t base = static_cast<std::size_t>(set) * ways;
   std::uint32_t first = 0;
-  std::uint32_t count = geo.ways();
-  const auto part = partitions_.find(proc);
-  if (part != partitions_.end()) {
-    first = part->second.first;
-    count = part->second.count;
+  std::uint32_t count = ways;
+  bool partitioned = false;
+  if (!partitions_.empty()) {
+    if (const Partition* part = partitions_.find(proc)) {
+      first = part->first;
+      count = part->count;
+      partitioned = true;
+    }
   }
 
   // Prefer an invalid way inside the allowed range.
-  std::uint32_t way = geo.ways();
+  std::uint32_t way = ways;
   for (std::uint32_t w = first; w < first + count; ++w) {
-    if (!line_at(set, w).valid) {
+    if ((tagv_[base + w] & 1) == 0) {
       way = w;
       break;
     }
   }
 
-  if (way == geo.ways()) {
-    if (part == partitions_.end()) {
-      way = replacement_->victim(set);
+  if (way == ways) {
+    if (!partitioned) {
+      way = victim_spec<RK, WAYS>(repl_, set);
     } else {
       // Within a partition the global replacement metadata cannot be
       // trusted (it may point outside the range): round-robin instead.
       way = first + (partition_rr_[set]++ % count);
     }
     assert(way >= first && way < first + count);
-    Line& victim = line_at(set, way);
-    if (victim.valid && victim.owner != proc &&
-        mapper_->secure_contention_policy()) {
-      // RPCache rule: this replacement would leak the victim process's set
-      // usage.  Do not allocate; disturb a random (set, way) instead.
-      ++stats_.contention_evictions;
-      const auto rset =
-          static_cast<std::uint32_t>(rng_->next_below(geo.sets()));
-      const auto rway =
-          static_cast<std::uint32_t>(rng_->next_below(geo.ways()));
-      if (line_at(rset, rway).valid) evict(rset, rway, result);
-      result.allocated = false;
-      return;
+    const std::size_t vi = base + way;
+    // Runtime flag, not the compile-time kind: this is the general path,
+    // and the policy is the mapper's call (the ctor asserts the two agree
+    // for the designs we ship).
+    if (secure_contention_) {
+      if ((tagv_[vi] & 1) != 0 && owner_[vi] != proc.value) {
+        // RPCache rule: this replacement would leak the victim process's set
+        // usage.  Do not allocate; disturb a random (set, way) instead.
+        ++stats_.contention_evictions;
+        const auto rset =
+            static_cast<std::uint32_t>(rng_->next_below(geo.sets()));
+        const auto rway = static_cast<std::uint32_t>(rng_->next_below(ways));
+        if ((tagv_[static_cast<std::size_t>(rset) * ways + rway] & 1) != 0) {
+          evict(rset, rway, result);
+        }
+        result.allocated = false;
+        return;
+      }
     }
     evict(set, way, result);
   }
 
-  Line& dest = line_at(set, way);
-  dest.line_addr = line;
-  dest.owner = proc;
-  dest.valid = true;
-  dest.dirty = dirty;
-  replacement_->fill(set, way);
+  const std::size_t di = base + way;
+  tagv_[di] = (line << 1) | 1;
+  owner_[di] = proc.value;
+  dirty_[di] = dirty ? 1 : 0;
+  fill_spec<RK, WAYS>(repl_, set, way);
 }
 
-bool Cache::contains(ProcId proc, Addr addr) {
-  const Geometry& geo = config_.geometry;
-  const Addr line = geo.line_addr(addr);
-  const std::uint32_t set = mapper_->map(line, proc);
-  for (std::uint32_t w = 0; w < geo.ways(); ++w) {
-    const Line& l = line_at(set, w);
-    if (l.valid && l.line_addr == line) return true;
+/// Builds the (mapping x replacement x ways) -> specialized-access table.
+/// A friend struct so the anonymous-namespace-free helpers can name the
+/// private access_impl instantiations.
+struct CacheAccessCompiler {
+  template <MappingKind MK, ReplacementKind RK>
+  [[nodiscard]] static Cache::AccessFn for_ways(std::uint32_t ways) {
+    return ways == 4 ? &Cache::access_impl<MK, RK, 4>
+                     : &Cache::access_impl<MK, RK, 0>;
+  }
+
+  template <MappingKind MK>
+  [[nodiscard]] static Cache::AccessFn for_repl(ReplacementKind rk,
+                                                std::uint32_t ways) {
+    switch (rk) {
+      case ReplacementKind::kLru:
+        return for_ways<MK, ReplacementKind::kLru>(ways);
+      case ReplacementKind::kFifo:
+        return for_ways<MK, ReplacementKind::kFifo>(ways);
+      case ReplacementKind::kRandom:
+        return for_ways<MK, ReplacementKind::kRandom>(ways);
+      case ReplacementKind::kPlru:
+        return for_ways<MK, ReplacementKind::kPlru>(ways);
+      case ReplacementKind::kNmru:
+        return for_ways<MK, ReplacementKind::kNmru>(ways);
+    }
+    return for_ways<MK, ReplacementKind::kLru>(ways);
+  }
+
+  [[nodiscard]] static Cache::AccessFn pick(MappingKind mk,
+                                            ReplacementKind rk,
+                                            std::uint32_t ways) {
+    switch (mk) {
+      case MappingKind::kModulo:
+        return for_repl<MappingKind::kModulo>(rk, ways);
+      case MappingKind::kXorIndex:
+        return for_repl<MappingKind::kXorIndex>(rk, ways);
+      case MappingKind::kHashRp:
+        return for_repl<MappingKind::kHashRp>(rk, ways);
+      case MappingKind::kRandomModulo:
+        return for_repl<MappingKind::kRandomModulo>(rk, ways);
+      case MappingKind::kRpCache:
+        return for_repl<MappingKind::kRpCache>(rk, ways);
+    }
+    return for_repl<MappingKind::kModulo>(rk, ways);
+  }
+};
+
+Cache::AccessFn Cache::pick_access_fn() const {
+  return CacheAccessCompiler::pick(mapper_->mapping_kind(), repl_.kind,
+                                   config_.geometry.ways());
+}
+
+bool Cache::contains_line(Addr line, std::uint32_t set) const {
+  const std::uint32_t ways = config_.geometry.ways();
+  const std::uint64_t probe = (line << 1) | 1;
+  const std::uint64_t* tv =
+      tagv_.data() + static_cast<std::size_t>(set) * ways;
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (tv[w] == probe) return true;
   }
   return false;
 }
 
+bool Cache::contains(ProcId proc, Addr addr) const {
+  const Addr line = config_.geometry.line_addr(addr);
+  return contains_line(line, map_set(context(proc), line));
+}
+
 void Cache::evict(std::uint32_t set, std::uint32_t way, AccessResult& result) {
-  Line& victim = line_at(set, way);
-  assert(victim.valid);
+  const std::size_t i =
+      static_cast<std::size_t>(set) * config_.geometry.ways() + way;
+  assert((tagv_[i] & 1) != 0);
   ++stats_.evictions;
-  if (victim.dirty) {
+  if (dirty_[i] != 0) {
     ++stats_.writebacks;
     result.writeback = true;
   }
-  result.evicted = victim.line_addr;
-  victim.valid = false;
-  victim.dirty = false;
+  result.evicted = true;
+  result.evicted_line = tagv_[i] >> 1;
+  tagv_[i] = 0;
+  dirty_[i] = 0;
 }
 
 std::uint64_t Cache::flush() {
   ++stats_.flushes;
   std::uint64_t count = 0;
-  for (Line& l : lines_) {
-    if (l.valid) {
+  for (std::size_t i = 0; i < tagv_.size(); ++i) {
+    if ((tagv_[i] & 1) != 0) {
       ++count;
-      if (l.dirty) ++stats_.writebacks;
+      if (dirty_[i] != 0) ++stats_.writebacks;
     }
-    l.valid = false;
-    l.dirty = false;
+    tagv_[i] = 0;
+    dirty_[i] = 0;
   }
   stats_.flushed_lines += count;
   replacement_->reset();
   return count;
 }
 
-void Cache::set_seed(ProcId proc, Seed seed) { mapper_->set_seed(proc, seed); }
+void Cache::set_seed(ProcId proc, Seed seed) {
+  mapper_->set_seed(proc, seed);
+  // Refresh the resolved context immediately: set_seed is the "write the
+  // hardware seed register" moment (paper Fig. 3).
+  resolve_context(proc);
+}
 
 void Cache::set_way_partition(ProcId proc, std::uint32_t first_way,
                               std::uint32_t way_count) {
   assert(way_count >= 1);
   assert(first_way + way_count <= config_.geometry.ways());
-  partitions_[proc] = Partition{first_way, way_count};
+  partitions_.set(proc, Partition{first_way, way_count});
   if (partition_rr_.empty()) {
     partition_rr_.assign(config_.geometry.sets(), 0);
   }
+  slow_fill_ = true;
 }
 
-void Cache::clear_way_partition(ProcId proc) { partitions_.erase(proc); }
+void Cache::clear_way_partition(ProcId proc) {
+  partitions_.erase(proc);
+  slow_fill_ = config_.random_fill_window > 0 || !partitions_.empty();
+}
+
+std::optional<MemoStats> Cache::rm_memo_stats() const {
+  const Placement* p = mapper_->placement_ptr();
+  if (p == nullptr || p->kind() != PlacementKind::kRandomModulo) {
+    return std::nullopt;
+  }
+  return static_cast<const RandomModuloPlacement*>(p)->memo_stats();
+}
 
 std::string Cache::name() const {
   return mapper_->name() + "/" + replacement_->name();
@@ -191,9 +618,7 @@ std::string Cache::name() const {
 
 std::uint64_t Cache::valid_lines() const {
   std::uint64_t n = 0;
-  for (const Line& l : lines_) {
-    if (l.valid) ++n;
-  }
+  for (const std::uint64_t tv : tagv_) n += tv & 1;
   return n;
 }
 

@@ -7,6 +7,22 @@
 // so the hierarchy can account latencies and the experiments can count
 // contention events.
 //
+// Hot-path layout (this is the innermost loop of every experiment):
+//
+//  * the per-process mapping is a ResolvedMapping (mapping.h) - seed-derived
+//    constants and table pointers materialized at set_seed time, consulted
+//    through a plain enum switch; no virtual call and no hash lookup per
+//    access;
+//  * line state is structure-of-arrays: one packed (line_addr << 1 | valid)
+//    word per way, so the lookup is a branch-light equality scan and invalid
+//    ways can never match; dirty flags and owners live in side arrays only
+//    touched on writes/misses;
+//  * way partitions and their round-robin cursors are dense ProcId/set
+//    indexed arrays, skipped entirely by a single empty() test when the
+//    feature is unused;
+//  * replacement metadata is manipulated through inline kernels
+//    (replacement_ops.h) over the policy object's own storage.
+//
 // The RPCache secure-contention rule (paper section 3 / ref [27]) is
 // implemented here: on a miss whose replacement victim belongs to a process
 // other than the requester, the incoming line is NOT allocated and a random
@@ -14,16 +30,17 @@
 // contended on.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/geometry.h"
 #include "cache/mapper.h"
 #include "cache/replacement.h"
+#include "common/proc_map.h"
 #include "common/types.h"
 #include "rng/rng.h"
 
@@ -33,15 +50,18 @@ namespace tsc::cache {
 struct AccessResult {
   bool hit = false;
   bool writeback = false;        ///< a dirty line was evicted
-  std::uint32_t set = 0;         ///< set consulted
   bool allocated = true;         ///< false under the secure contention rule
-  std::optional<Addr> evicted;   ///< line address evicted, if any
+  bool evicted = false;          ///< some line was evicted
+  std::uint32_t set = 0;         ///< set consulted
+  Addr evicted_line = 0;         ///< line address evicted (when `evicted`)
 };
 
 /// Event counters (reset together with the cache).
 struct CacheStats {
   std::uint64_t accesses = 0;
   std::uint64_t hits = 0;
+  /// Always accesses - hits; materialized by Cache::stats() so the access
+  /// path maintains two counters, not three.
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t writebacks = 0;
@@ -78,13 +98,17 @@ class Cache {
         std::unique_ptr<Replacement> replacement,
         std::shared_ptr<rng::Rng> rng = nullptr);
 
-  /// Perform a read (write=false) or write access.
-  AccessResult access(ProcId proc, Addr addr, bool write);
+  /// Perform a read (write=false) or write access.  Dispatches through a
+  /// function pointer resolved at construction to the access path
+  /// specialized for this cache's (mapping kind, replacement kind, way
+  /// count): inside it, every design decision is a compile-time constant.
+  AccessResult access(ProcId proc, Addr addr, bool write) {
+    return access_fn_(*this, proc, addr, write);
+  }
 
   /// Does the cache currently hold the line containing `addr` for `proc`?
-  /// Does not update replacement state or statistics.  (Not const because
-  /// RPCache mappers materialize per-process tables lazily.)
-  [[nodiscard]] bool contains(ProcId proc, Addr addr);
+  /// Does not update replacement state or statistics.
+  [[nodiscard]] bool contains(ProcId proc, Addr addr) const;
 
   /// Write back everything dirty and invalidate all lines (paper section 5:
   /// done once per hyperperiod together with the reseed).  Returns the
@@ -92,7 +116,8 @@ class Cache {
   std::uint64_t flush();
 
   /// Change the placement seed of a process.  The caller (OS model) decides
-  /// whether a flush must accompany the change for consistency.
+  /// whether a flush must accompany the change for consistency.  The
+  /// process's resolved mapping context is refreshed immediately.
   void set_seed(ProcId proc, Seed seed);
   [[nodiscard]] Seed seed(ProcId proc) const { return mapper_->seed(proc); }
 
@@ -108,56 +133,123 @@ class Cache {
   /// Remove a process's partition restriction.
   void clear_way_partition(ProcId proc);
 
-  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] CacheStats stats() const {
+    CacheStats s = stats_;
+    s.misses = s.accesses - s.hits;
+    return s;
+  }
   void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Benes-memo effectiveness when a Random Modulo placement backs this
+  /// cache (nullopt for every other design).  Counters accumulate across
+  /// reset_stats (they diagnose the simulator, not the simulated platform);
+  /// reset them via the placement's reset_memo_stats if needed.
+  [[nodiscard]] std::optional<MemoStats> rm_memo_stats() const;
 
   [[nodiscard]] const Geometry& geometry() const { return config_.geometry; }
   [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] const IndexMapper& mapper() const { return *mapper_; }
   [[nodiscard]] std::string name() const;
 
   /// Number of valid lines currently held (tests/diagnostics).
   [[nodiscard]] std::uint64_t valid_lines() const;
 
  private:
-  struct Line {
-    Addr line_addr = 0;
-    ProcId owner{};
-    bool valid = false;
-    bool dirty = false;
-  };
-
-  [[nodiscard]] Line& line_at(std::uint32_t set, std::uint32_t way) {
-    return lines_[static_cast<std::size_t>(set) * config_.geometry.ways() +
-                  way];
-  }
-  [[nodiscard]] const Line& line_at(std::uint32_t set,
-                                    std::uint32_t way) const {
-    return lines_[static_cast<std::size_t>(set) * config_.geometry.ways() +
-                  way];
-  }
-
-  void evict(std::uint32_t set, std::uint32_t way, AccessResult& result);
-
-  /// Install `line` for `proc` somewhere legal in `set`.
-  void fill_line(ProcId proc, Addr line, std::uint32_t set, bool dirty,
-                 AccessResult& result);
-
-  /// Is `line` already present in `set`?  (Pure array scan, no stats.)
-  [[nodiscard]] bool contains_line(ProcId proc, Addr line,
-                                   std::uint32_t set) const;
-
   struct Partition {
     std::uint32_t first = 0;
     std::uint32_t count = 0;
   };
 
+  /// The resolved mapping of `proc`, materializing it on first use.  The
+  /// cache lazily resolves contexts for processes that were never
+  /// explicitly seeded (they map under the default seed); explicit
+  /// set_seed refreshes eagerly.  Resolution is observationally pure, so
+  /// const paths (contains) share it.
+  [[nodiscard]] const ResolvedMapping& context(ProcId proc) const {
+    const std::size_t i = proc.value;
+    if (i < contexts_.size() && contexts_[i].valid) [[likely]] {
+      return contexts_[i];
+    }
+    return resolve_context(proc);
+  }
+  [[gnu::cold]] const ResolvedMapping& resolve_context(ProcId proc) const;
+
+  /// Devirtualized set computation over a resolved context.
+  [[nodiscard]] std::uint32_t map_set(const ResolvedMapping& ctx,
+                                      Addr line) const;
+
+  void evict(std::uint32_t set, std::uint32_t way, AccessResult& result);
+
+  /// Is `line` already present in `set`?  (Pure array scan, no stats.)
+  [[nodiscard]] bool contains_line(Addr line, std::uint32_t set) const;
+
+  /// The specialized access path: one instantiation per (mapping kind,
+  /// replacement kind, way count).  WAYS == 0 means "runtime way count"
+  /// (the generic fallback for unusual geometries).
+  using AccessFn = AccessResult (*)(Cache&, ProcId, Addr, bool);
+  template <MappingKind MK, ReplacementKind RK, int WAYS>
+  static AccessResult access_impl(Cache& self, ProcId proc, Addr addr,
+                                  bool write);
+  template <MappingKind MK, ReplacementKind RK, int WAYS>
+  void fill_impl(const ResolvedMapping* ctx, ProcId proc, Addr line,
+                 std::uint32_t set, bool dirty, AccessResult& result);
+  template <MappingKind MK, ReplacementKind RK, int WAYS>
+  void random_fill(const ResolvedMapping* ctx, ProcId proc, Addr line,
+                   AccessResult& result);
+  /// Outlined miss handling for the uncommon configurations (random fill,
+  /// way partitions): keeps the specialized hot path a leaf function.
+  template <MappingKind MK, ReplacementKind RK, int WAYS>
+  [[gnu::noinline]] static AccessResult access_slow(Cache& self, ProcId proc,
+                                                    Addr line,
+                                                    std::uint32_t set,
+                                                    bool write);
+  /// Outlined RPCache secure-contention handling (draws from the rng).
+  [[gnu::noinline]] AccessResult contention_evict(std::uint32_t set);
+  [[nodiscard]] AccessFn pick_access_fn() const;
+  friend struct CacheAccessCompiler;  ///< instantiates the access_impl table
+
   CacheConfig config_;
   std::unique_ptr<IndexMapper> mapper_;
   std::unique_ptr<Replacement> replacement_;
   std::shared_ptr<rng::Rng> rng_;
-  std::vector<Line> lines_;
   CacheStats stats_;
-  std::unordered_map<ProcId, Partition> partitions_;
+
+  // Geometry constants flattened out of config_.geometry: the access path
+  // reads them every simulated access, and deriving offset/index widths via
+  // countr_zero per access showed up in the profile.
+  unsigned line_shift_ = 0;       ///< geometry offset_bits()
+  std::uint32_t sets_mask_ = 0;   ///< sets - 1
+
+  // Structure-of-arrays line state, indexed [set * ways + way].
+  std::vector<std::uint64_t> tagv_;   ///< (line_addr << 1) | valid
+  std::vector<std::uint32_t> owner_;  ///< installing process id
+  std::vector<std::uint8_t> dirty_;
+
+  mutable std::vector<ResolvedMapping> contexts_;  ///< per-process, dense
+
+  /// The access path's view of a resolved context: the one or two words the
+  /// specialized mapping actually reads, stored inline in the Cache object
+  /// so the common probe is self-relative loads with no vector indirection.
+  /// `ptr` aliases mapper/context storage (RPCache table, RM placement,
+  /// HashRpContext inside contexts_) and is refreshed by resolve_context
+  /// whenever contexts_ reallocates or a seed changes.  A null ptr means
+  /// "not resolved yet" - resolve_context always installs a non-null one
+  /// (a 16-byte entry keeps the index a shift, not a multiply).
+  struct HotCtx {
+    std::uint64_t word = 0;      ///< xor_mask / premixed RM seed
+    const void* ptr = nullptr;   ///< rp_table / RM placement / hashrp ctx
+  };
+  static constexpr std::size_t kHotCtx = 16;
+  mutable std::array<HotCtx, kHotCtx> hot_{};
+
+  ReplacementFast repl_;          ///< raw view into *replacement_
+  AccessFn access_fn_;            ///< specialized hot path
+  bool secure_contention_;        ///< mapper demands the RPCache rule
+  /// random_fill_window > 0 or any way partition installed: misses leave
+  /// through the outlined slow path.  One flag, one test per miss.
+  bool slow_fill_ = false;
+
+  ProcIndexed<Partition> partitions_;
   std::vector<std::uint32_t> partition_rr_;  // per-set round-robin cursor
 };
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "rng/rng.h"
+
 namespace tsc::cache {
 
 SeededMapper::SeededMapper(std::unique_ptr<Placement> placement,
@@ -11,15 +13,35 @@ SeededMapper::SeededMapper(std::unique_ptr<Placement> placement,
   assert(placement_ != nullptr);
 }
 
-std::uint32_t SeededMapper::map(Addr line_addr, ProcId proc) {
+std::uint32_t SeededMapper::map(Addr line_addr, ProcId proc) const {
   return placement_->set_index(line_addr, seed(proc));
 }
 
-void SeededMapper::set_seed(ProcId proc, Seed seed) { seeds_[proc] = seed; }
+void SeededMapper::set_seed(ProcId proc, Seed seed) {
+  seeds_.set(proc, seed);
+}
 
 Seed SeededMapper::seed(ProcId proc) const {
-  const auto it = seeds_.find(proc);
-  return it == seeds_.end() ? default_seed_ : it->second;
+  return seeds_.get_or(proc, default_seed_);
+}
+
+void SeededMapper::resolve(ProcId proc, ResolvedMapping& out) const {
+  out.seed = seed(proc);
+  placement_->resolve(out.seed, out);
+}
+
+MappingKind SeededMapper::mapping_kind() const {
+  switch (placement_->kind()) {
+    case PlacementKind::kModulo:
+      return MappingKind::kModulo;
+    case PlacementKind::kXorIndex:
+      return MappingKind::kXorIndex;
+    case PlacementKind::kHashRp:
+      return MappingKind::kHashRp;
+    case PlacementKind::kRandomModulo:
+      return MappingKind::kRandomModulo;
+  }
+  return MappingKind::kModulo;
 }
 
 std::string SeededMapper::name() const {
@@ -27,40 +49,50 @@ std::string SeededMapper::name() const {
 }
 
 RpCacheMapper::RpCacheMapper(const Geometry& geometry, Seed default_seed)
-    : geo_(geometry), default_seed_(default_seed) {}
+    : geo_(geometry), default_seed_(default_seed) {
+  regenerate(default_table_, default_seed_);
+}
 
-std::uint32_t RpCacheMapper::map(Addr line_addr, ProcId proc) {
-  const std::uint32_t idx = geo_.index_of_line(line_addr);
-  return table_for(proc)[idx];
+std::uint32_t RpCacheMapper::map(Addr line_addr, ProcId proc) const {
+  return table_for(proc)[geo_.index_of_line(line_addr)];
 }
 
 void RpCacheMapper::set_seed(ProcId proc, Seed seed) {
-  seeds_[proc] = seed;
-  tables_.erase(proc);  // rebuilt lazily from the new seed
+  seeds_.set(proc, seed);
+  if (proc.value >= tables_.size()) tables_.resize(proc.value + 1);
+  regenerate(tables_[proc.value], seed);
 }
 
 Seed RpCacheMapper::seed(ProcId proc) const {
-  const auto it = seeds_.find(proc);
-  return it == seeds_.end() ? default_seed_ : it->second;
+  return seeds_.get_or(proc, default_seed_);
 }
 
-std::vector<std::uint32_t> RpCacheMapper::make_table(Seed seed) const {
-  std::vector<std::uint32_t> table(geo_.sets());
+void RpCacheMapper::resolve(ProcId proc, ResolvedMapping& out) const {
+  out.kind = MappingKind::kRpCache;
+  out.seed = seed(proc);
+  out.rp_table = table_for(proc).data();
+}
+
+void RpCacheMapper::regenerate(std::vector<std::uint32_t>& table, Seed seed) {
+  if (table.empty()) {
+    table.resize(geo_.sets());
+    ++table_allocations_;
+  }
+  assert(table.size() == geo_.sets());
   for (std::uint32_t i = 0; i < geo_.sets(); ++i) table[i] = i;
   rng::SplitMix64 rng(seed.value ^ 0xC2B2AE3D27D4EB4FULL);
   for (std::uint32_t i = geo_.sets() - 1; i > 0; --i) {
     const auto j = static_cast<std::uint32_t>(rng.next_below(i + 1));
     std::swap(table[i], table[j]);
   }
-  return table;
 }
 
-const std::vector<std::uint32_t>& RpCacheMapper::table_for(ProcId proc) {
-  auto it = tables_.find(proc);
-  if (it == tables_.end()) {
-    it = tables_.emplace(proc, make_table(seed(proc))).first;
+const std::vector<std::uint32_t>& RpCacheMapper::table_for(
+    ProcId proc) const {
+  if (proc.value < tables_.size() && !tables_[proc.value].empty()) {
+    return tables_[proc.value];
   }
-  return it->second;
+  return default_table_;
 }
 
 }  // namespace tsc::cache

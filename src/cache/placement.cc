@@ -1,33 +1,27 @@
 #include "cache/placement.h"
 
-#include <algorithm>
 #include <cassert>
 
 #include "cache/benes.h"
 #include "common/bitops.h"
 
 namespace tsc::cache {
-namespace {
-
-// One strong 64->64 mixing round (SplitMix64 finalizer).  Stands in for the
-// seed-conditioning logic real controllers put in front of their XOR/rotator
-// trees; keeps distinct seed bits from cancelling trivially.
-constexpr std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 std::uint32_t XorIndexPlacement::set_index(Addr line_addr, Seed seed) const {
-  const std::uint32_t idx = geo_.index_of_line(line_addr);
   // The scheme of [2]: XOR the index bits with a (seed-derived) random
   // number.  Deliberately *not* address-dependent beyond the index bits:
-  // that is the design being modeled, flaw included.
+  // that is the design being modeled, flaw included.  Same formula as
+  // resolve() - kept direct so the virtual path does not build a full
+  // context per call.
   const auto mask =
-      static_cast<std::uint32_t>(mix64(seed.value) & (geo_.sets() - 1));
-  return idx ^ mask;
+      static_cast<std::uint32_t>(seed_mix64(seed.value) & (geo_.sets() - 1));
+  return geo_.index_of_line(line_addr) ^ mask;
+}
+
+void XorIndexPlacement::resolve(Seed seed, ResolvedMapping& out) const {
+  out.kind = MappingKind::kXorIndex;
+  out.xor_mask =
+      static_cast<std::uint32_t>(seed_mix64(seed.value) & (geo_.sets() - 1));
 }
 
 HashRpPlacement::HashRpPlacement(const Geometry& g, unsigned addr_bits)
@@ -36,10 +30,6 @@ HashRpPlacement::HashRpPlacement(const Geometry& g, unsigned addr_bits)
 }
 
 std::uint32_t HashRpPlacement::set_index(Addr line_addr, Seed seed) const {
-  const unsigned w = geo_.index_bits() == 0 ? 1 : geo_.index_bits();
-  const std::uint64_t s = mix64(seed.value);
-  const std::uint64_t la = line_addr & low_mask(line_addr_bits_);
-
   // Fig. 2a: the line address (tag+index bits) is split into w-bit fields;
   // each field passes through a rotator block and the rotated fields are
   // XORed with a seed field into the set index.
@@ -58,62 +48,63 @@ std::uint32_t HashRpPlacement::set_index(Addr line_addr, Seed seed) const {
   // parity, so a pure rotate/XOR tree on w-bit lanes maps every address pair
   // with odd XOR-difference to *unequal* sets under every seed - again an
   // mbpta-p2(2) violation.  Dropping one rotated bit breaks the parity
-  // invariant.
-  const unsigned field_count = (line_addr_bits_ + w - 1) / w;
-  const unsigned lane = w + 1;
-  // The accumulator's seed chunk lives in bits the field-mixing chunks
-  // (offsets 0..39) never touch: if they overlapped, a zero rotation amount
-  // would cancel the seed out of the final XOR and pin one seed class of
-  // every address to a fixed set, breaking placement uniformity.
-  std::uint64_t acc = bits(s, 48, w);
-  for (unsigned i = 0; i < field_count; ++i) {
-    const unsigned lo = i * w;
-    const unsigned width = std::min(lane, line_addr_bits_ - lo);
-    const std::uint64_t field =
-        bits(la, lo, width) ^ bits(s, (7 * i) % 40, lane);
-    const unsigned neighbour_lo = ((i + 1) % field_count) * w;
-    const auto amt = static_cast<unsigned>(
-        (bits(s, w + 4 * i, 4) ^ bits(la, neighbour_lo, 4)) & 0xF);
-    acc ^= rotl_field(field, lane, amt) & low_mask(w);
+  // invariant.  The accumulator's seed chunk lives in bits the field-mixing
+  // chunks (offsets 0..39) never touch: if they overlapped, a zero rotation
+  // amount would cancel the seed out of the final XOR and pin one seed class
+  // of every address to a fixed set, breaking placement uniformity.
+  //
+  // The seed-only terms of all of the above live in a HashRpContext
+  // (mapping.h); re-resolve only when the seed actually changed.
+  if (!memo_valid_ || memo_seed_ != seed) {
+    hashrp_resolve(geo_, line_addr_bits_, seed, memo_ctx_);
+    memo_seed_ = seed;
+    memo_valid_ = true;
   }
-  return static_cast<std::uint32_t>(acc & (geo_.sets() - 1));
+  return hashrp_map(memo_ctx_, line_addr);
+}
+
+void HashRpPlacement::resolve(Seed seed, ResolvedMapping& out) const {
+  out.kind = MappingKind::kHashRp;
+  hashrp_resolve(geo_, line_addr_bits_, seed, out.hashrp);
 }
 
 RandomModuloPlacement::RandomModuloPlacement(const Geometry& g)
-    : geo_(g), memo_(8192) {
+    : geo_(g), k_(g.index_bits()), idx_mask_(g.sets() - 1) {
   assert(g.index_bits() <= 16 &&
          "packed-permutation memo supports up to 16 index bits");
+  if (k_ > 8) {
+    memo_.resize(8192);
+  } else if (k_ > 0) {
+    lut_stride_ = kLutHeader + (1u << k_);
+    lut_memo_.assign(std::size_t{8192} * lut_stride_, 0);
+  }
 }
 
-std::uint32_t RandomModuloPlacement::set_index(Addr line_addr,
-                                               Seed seed) const {
-  const unsigned k = geo_.index_bits();
-  if (k == 0) return 0;  // fully associative: single set
-  const std::uint32_t idx = geo_.index_of_line(line_addr);
-  const Addr tag = geo_.tag_of_line(line_addr);
-  const std::uint64_t s = mix64(seed.value);
-
-  // Fig. 2b: index bits XOR seed -> data inputs of the Benes network;
-  // tag bits XOR seed -> drive the network switches.
-  const auto xored_idx =
-      static_cast<std::uint32_t>((idx ^ s) & (geo_.sets() - 1));
-  const std::uint64_t driver = tag ^ (s >> k);
-
-  Memo& slot = memo_[(driver * 0x9E3779B97F4A7C15ULL) >> 51];  // top 13 bits
-  if (slot.driver_plus1 != driver + 1) {
-    const std::vector<std::uint32_t> perm = benes_permutation(k, driver);
-    std::uint64_t packed = 0;
-    for (unsigned i = 0; i < k; ++i) {
-      packed |= static_cast<std::uint64_t>(perm[i] & 0xF) << (4 * i);
-    }
-    slot = {driver + 1, packed};
-  }
-  std::uint32_t out = 0;
+void RandomModuloPlacement::rebuild_slot(Memo& slot,
+                                         std::uint64_t driver) const {
+  const unsigned k = k_;
+  const std::vector<std::uint32_t> perm = benes_permutation(k, driver);
+  slot = Memo{};
+  slot.driver = driver;
+  slot.occupied = 1;
   for (unsigned i = 0; i < k; ++i) {
-    const auto src = static_cast<unsigned>((slot.packed_perm >> (4 * i)) & 0xF);
-    out |= ((xored_idx >> src) & 1u) << i;
+    slot.srcs[i] = static_cast<std::uint8_t>(perm[i] & 0xF);
   }
-  return out;
+}
+
+void RandomModuloPlacement::rebuild_lut_slot(std::uint8_t* slot,
+                                             std::uint64_t driver) const {
+  const unsigned k = k_;
+  const std::vector<std::uint32_t> perm = benes_permutation(k, driver);
+  std::uint8_t srcs[16] = {};
+  for (unsigned i = 0; i < k; ++i) {
+    srcs[i] = static_cast<std::uint8_t>(perm[i] & 0xF);
+  }
+  std::memcpy(slot, &driver, 8);
+  slot[8] = 1;  // occupied
+  for (std::uint32_t x = 0; x < (1u << k); ++x) {
+    slot[kLutHeader + x] = static_cast<std::uint8_t>(permute_bits16(x, srcs, k));
+  }
 }
 
 std::unique_ptr<Placement> make_placement(PlacementKind kind,

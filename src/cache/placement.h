@@ -23,17 +23,33 @@
 // lets caches retain their contents while a task runs (paper section 5:
 // "HashRP and RM preserve the same seed during the execution of a task, so
 // that cache contents can be retrieved").
+//
+// Every placement can additionally `resolve` a seed into a ResolvedMapping
+// (mapping.h): the seed-only factors of its function, computed once.  The
+// virtual set_index path and the cache's devirtualized fast path both run
+// the resolved form, so they cannot diverge.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/geometry.h"
+#include "cache/mapping.h"
+#include "common/bitperm.h"
 #include "common/types.h"
 
 namespace tsc::cache {
+
+/// Kinds for configuration.
+enum class PlacementKind {
+  kModulo,
+  kXorIndex,
+  kHashRp,
+  kRandomModulo,
+};
 
 /// Pure placement function interface.
 class Placement {
@@ -44,19 +60,19 @@ class Placement {
   [[nodiscard]] virtual std::uint32_t set_index(Addr line_addr,
                                                 Seed seed) const = 0;
 
+  /// Resolve the seed-only factors into `out` for the devirtualized access
+  /// path (sets `out.kind` and the kind's parameters; leaves bookkeeping
+  /// fields to the caller).
+  virtual void resolve(Seed seed, ResolvedMapping& out) const = 0;
+
+  /// Which design this is (drives the resolved-context dispatch).
+  [[nodiscard]] virtual PlacementKind kind() const = 0;
+
   /// Identifier for logs and reports.
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// True when the function actually uses the seed (modulo does not).
   [[nodiscard]] virtual bool randomized() const = 0;
-};
-
-/// Kinds for configuration.
-enum class PlacementKind {
-  kModulo,
-  kXorIndex,
-  kHashRp,
-  kRandomModulo,
 };
 
 /// Deterministic modulo placement (baseline "deterministic" setup, 6.1.2a).
@@ -65,6 +81,12 @@ class ModuloPlacement final : public Placement {
   explicit ModuloPlacement(const Geometry& g) : geo_(g) {}
   [[nodiscard]] std::uint32_t set_index(Addr line_addr, Seed) const override {
     return geo_.index_of_line(line_addr);
+  }
+  void resolve(Seed, ResolvedMapping& out) const override {
+    out.kind = MappingKind::kModulo;
+  }
+  [[nodiscard]] PlacementKind kind() const override {
+    return PlacementKind::kModulo;
   }
   [[nodiscard]] std::string name() const override { return "modulo"; }
   [[nodiscard]] bool randomized() const override { return false; }
@@ -79,6 +101,10 @@ class XorIndexPlacement final : public Placement {
   explicit XorIndexPlacement(const Geometry& g) : geo_(g) {}
   [[nodiscard]] std::uint32_t set_index(Addr line_addr,
                                         Seed seed) const override;
+  void resolve(Seed seed, ResolvedMapping& out) const override;
+  [[nodiscard]] PlacementKind kind() const override {
+    return PlacementKind::kXorIndex;
+  }
   [[nodiscard]] std::string name() const override { return "xor-index"; }
   [[nodiscard]] bool randomized() const override { return true; }
 
@@ -87,6 +113,13 @@ class XorIndexPlacement final : public Placement {
 };
 
 /// Hash-based parametric random placement [16] (paper Fig. 2a).
+///
+/// set_index resolves the seed's rotator/XOR constants into a HashRpContext
+/// and runs hashrp_map (mapping.h).  A one-entry context memo keeps repeated
+/// same-seed calls (the overwhelmingly common pattern: seeds change once per
+/// hyperperiod, addresses every access) at resolved-path speed.  Like the RM
+/// Benes memo, the memo is invisible to callers and single-threaded by
+/// design (one Machine per worker thread).
 class HashRpPlacement final : public Placement {
  public:
   /// `addr_bits` bounds the meaningful line-address width (32-bit machine:
@@ -94,12 +127,33 @@ class HashRpPlacement final : public Placement {
   explicit HashRpPlacement(const Geometry& g, unsigned addr_bits = 32);
   [[nodiscard]] std::uint32_t set_index(Addr line_addr,
                                         Seed seed) const override;
+  void resolve(Seed seed, ResolvedMapping& out) const override;
+  [[nodiscard]] PlacementKind kind() const override {
+    return PlacementKind::kHashRp;
+  }
   [[nodiscard]] std::string name() const override { return "hashRP"; }
   [[nodiscard]] bool randomized() const override { return true; }
 
  private:
   Geometry geo_;
   unsigned line_addr_bits_;
+  mutable HashRpContext memo_ctx_;
+  mutable Seed memo_seed_{};
+  mutable bool memo_valid_ = false;
+};
+
+/// Effectiveness counters of a per-access memo table (satellite diagnostics
+/// for the RM Benes memo): how often the access path found the entry it
+/// needed versus had to rebuild one.
+struct MemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
 };
 
 /// Random Modulo placement [15][24] (paper Fig. 2b).
@@ -114,18 +168,99 @@ class RandomModuloPlacement final : public Placement {
  public:
   explicit RandomModuloPlacement(const Geometry& g);
   [[nodiscard]] std::uint32_t set_index(Addr line_addr,
-                                        Seed seed) const override;
+                                        Seed seed) const override {
+    return set_index_mixed(line_addr, seed_mix64(seed.value));
+  }
+  void resolve(Seed seed, ResolvedMapping& out) const override {
+    out.kind = MappingKind::kRandomModulo;
+    out.rm_mix = seed_mix64(seed.value);
+    out.rm = this;
+  }
+  [[nodiscard]] PlacementKind kind() const override {
+    return PlacementKind::kRandomModulo;
+  }
   [[nodiscard]] std::string name() const override { return "random-modulo"; }
   [[nodiscard]] bool randomized() const override { return true; }
 
+  /// The access path over a premixed seed (mix64 resolved once per seed
+  /// epoch).  Inline: this IS the simulator's hottest placement.
+  ///
+  /// Two memo layouts, picked by index width at construction: up to 8 index
+  /// bits (every L1 in the paper's platform), a slot holds the permutation
+  /// *applied to every possible input* - the access is one table load.
+  /// Above 8 bits, a slot holds the 16 source indices and the access runs
+  /// the byte-shuffle permute (bitperm.h).  Both are rebuilt from the same
+  /// Benes realization, so results are identical by construction.
+  [[nodiscard]] std::uint32_t set_index_mixed(Addr line_addr,
+                                              std::uint64_t mixed) const {
+    const unsigned k = k_;
+    if (k == 0) return 0;  // fully associative: single set
+    const auto idx = static_cast<std::uint32_t>(line_addr) & idx_mask_;
+    const Addr tag = line_addr >> k;
+
+    // Fig. 2b: index bits XOR seed -> data inputs of the Benes network;
+    // tag bits XOR seed -> drive the network switches.
+    const auto xored_idx =
+        static_cast<std::uint32_t>(idx ^ mixed) & idx_mask_;
+    const std::uint64_t driver = tag ^ (mixed >> k);
+    const std::uint64_t hash = driver * 0x9E3779B97F4A7C15ULL;
+
+    if (k <= 8) {
+      // Slots are (8-byte driver tag + 1-byte occupancy + padding +
+      // 2^k-entry table), packed at runtime stride so the active footprint
+      // stays as small as the geometry allows.
+      std::uint8_t* slot = lut_memo_.data() + (hash >> 51) * lut_stride_;
+      std::uint64_t slot_tag;
+      std::memcpy(&slot_tag, slot, 8);
+      if (slot_tag != driver || slot[8] == 0) [[unlikely]] {
+        ++memo_stats_.misses;
+        rebuild_lut_slot(slot, driver);
+      } else {
+        ++memo_stats_.hits;
+      }
+      return slot[kLutHeader + xored_idx];
+    }
+
+    Memo& slot = memo_[hash >> 51];  // top 13 bits
+    if (slot.driver != driver || slot.occupied == 0) [[unlikely]] {
+      ++memo_stats_.misses;
+      rebuild_slot(slot, driver);
+    } else {
+      ++memo_stats_.hits;
+    }
+    return permute_bits16(xored_idx, slot.srcs, k);
+  }
+
+  /// Benes-memo effectiveness since construction / the last reset.
+  [[nodiscard]] const MemoStats& memo_stats() const { return memo_stats_; }
+  void reset_memo_stats() const { memo_stats_ = MemoStats{}; }
+
  private:
+  /// Bytes before a packed LUT slot's table: 8 tag + 1 occupancy + 7 pad.
+  /// Occupancy is explicit in both layouts - a tag sentinel cannot work,
+  /// every 64-bit value is a legal driver.
+  static constexpr std::uint32_t kLutHeader = 16;
+
   struct Memo {
-    std::uint64_t driver_plus1 = 0;  // 0 = empty
-    std::uint64_t packed_perm = 0;   // 4 bits per output position
+    std::uint64_t driver = 0;
+    std::uint8_t occupied = 0;
+    std::uint8_t srcs[16] = {};       // out bit i = input bit srcs[i]
   };
 
+  /// Simulate the Benes network for `driver` and pack the realized bit
+  /// permutation into the slot (the memo-miss slow path, kept out of line).
+  void rebuild_slot(Memo& slot, std::uint64_t driver) const;
+  void rebuild_lut_slot(std::uint8_t* slot, std::uint64_t driver) const;
+
   Geometry geo_;
-  mutable std::vector<Memo> memo_;  // direct-mapped; single-threaded use
+  unsigned k_;             ///< index_bits, flattened for the access path
+  std::uint32_t idx_mask_; ///< sets - 1
+  // Exactly one of the two memo tables is populated (by k_); both are
+  // direct-mapped and single-threaded by design (one Machine per worker).
+  mutable std::vector<Memo> memo_;
+  mutable std::vector<std::uint8_t> lut_memo_;  ///< packed LutSlots
+  std::uint32_t lut_stride_ = 0;                ///< 8 + 2^k bytes per slot
+  mutable MemoStats memo_stats_;
 };
 
 /// Factory.

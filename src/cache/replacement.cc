@@ -17,23 +17,13 @@ class Lru final : public Replacement {
   }
 
   void touch(std::uint32_t set, std::uint32_t way) override {
-    auto* r = row(set);
-    const std::uint8_t old = r[way];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (r[w] < old) ++r[w];
-    }
-    r[way] = 0;
+    repl_ops::lru_touch(row(set), ways_, way);
   }
 
   void fill(std::uint32_t set, std::uint32_t way) override { touch(set, way); }
 
   std::uint32_t victim(std::uint32_t set) override {
-    const auto* r = row(set);
-    std::uint32_t v = 0;
-    for (std::uint32_t w = 1; w < ways_; ++w) {
-      if (r[w] > r[v]) v = w;
-    }
-    return v;
+    return repl_ops::lru_victim(row(set), ways_);
   }
 
   void reset() override {
@@ -42,13 +32,19 @@ class Lru final : public Replacement {
     }
   }
 
+  ReplacementFast fast() override {
+    ReplacementFast f;
+    f.kind = ReplacementKind::kLru;
+    f.meta8 = rank_.data();
+    f.ways = ways_;
+    f.stride8 = ways_;
+    return f;
+  }
+
   [[nodiscard]] std::string name() const override { return "lru"; }
 
  private:
   [[nodiscard]] std::uint8_t* row(std::uint32_t set) {
-    return rank_.data() + static_cast<std::size_t>(set) * ways_;
-  }
-  [[nodiscard]] const std::uint8_t* row(std::uint32_t set) const {
     return rank_.data() + static_cast<std::size_t>(set) * ways_;
   }
 
@@ -68,6 +64,13 @@ class Fifo final : public Replacement {
   }
   std::uint32_t victim(std::uint32_t set) override { return next_[set]; }
   void reset() override { std::fill(next_.begin(), next_.end(), 0u); }
+  ReplacementFast fast() override {
+    ReplacementFast f;
+    f.kind = ReplacementKind::kFifo;
+    f.meta32 = next_.data();
+    f.ways = ways_;
+    return f;
+  }
   [[nodiscard]] std::string name() const override { return "fifo"; }
 
  private:
@@ -89,6 +92,14 @@ class Random final : public Replacement {
     return static_cast<std::uint32_t>(rng_->next_below(ways_));
   }
   void reset() override {}
+  ReplacementFast fast() override {
+    ReplacementFast f;
+    f.kind = ReplacementKind::kRandom;
+    f.rng = rng_.get();
+    f.xorshift = dynamic_cast<rng::XorShift64Star*>(rng_.get());
+    f.ways = ways_;
+    return f;
+  }
   [[nodiscard]] std::string name() const override { return "random"; }
 
  private:
@@ -105,52 +116,28 @@ class Plru final : public Replacement {
   }
 
   void touch(std::uint32_t set, std::uint32_t way) override {
-    auto* t = row(set);
-    std::uint32_t node = 0;
-    std::uint32_t lo = 0;
-    std::uint32_t hi = ways_;
-    // Walk root->leaf, pointing each node *away* from the touched way.
-    while (hi - lo > 1) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      const bool went_right = way >= mid;
-      t[node] = went_right ? 0 : 1;  // 0 = next victim on the left
-      node = 2 * node + (went_right ? 2 : 1);
-      if (went_right) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
+    repl_ops::plru_touch(row(set), ways_, way);
   }
 
   void fill(std::uint32_t set, std::uint32_t way) override { touch(set, way); }
 
   std::uint32_t victim(std::uint32_t set) override {
-    const auto* t = row(set);
-    std::uint32_t node = 0;
-    std::uint32_t lo = 0;
-    std::uint32_t hi = ways_;
-    while (hi - lo > 1) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      const bool go_left = t[node] == 0;
-      node = 2 * node + (go_left ? 1 : 2);
-      if (go_left) {
-        hi = mid;
-      } else {
-        lo = mid;
-      }
-    }
-    return lo;
+    return repl_ops::plru_victim(row(set), ways_);
   }
 
   void reset() override { std::fill(tree_.begin(), tree_.end(), 0); }
+  ReplacementFast fast() override {
+    ReplacementFast f;
+    f.kind = ReplacementKind::kPlru;
+    f.meta8 = tree_.data();
+    f.ways = ways_;
+    f.stride8 = ways_ - 1;
+    return f;
+  }
   [[nodiscard]] std::string name() const override { return "plru"; }
 
  private:
   [[nodiscard]] std::uint8_t* row(std::uint32_t set) {
-    return tree_.data() + static_cast<std::size_t>(set) * (ways_ - 1);
-  }
-  [[nodiscard]] const std::uint8_t* row(std::uint32_t set) const {
     return tree_.data() + static_cast<std::size_t>(set) * (ways_ - 1);
   }
 
@@ -171,12 +158,18 @@ class Nmru final : public Replacement {
   }
   void fill(std::uint32_t set, std::uint32_t way) override { touch(set, way); }
   std::uint32_t victim(std::uint32_t set) override {
-    if (ways_ == 1) return 0;
-    const auto pick =
-        static_cast<std::uint32_t>(rng_->next_below(ways_ - 1));
-    return pick >= mru_[set] ? pick + 1 : pick;
+    return repl_ops::nmru_victim(mru_[set], ways_, fast());
   }
   void reset() override { std::fill(mru_.begin(), mru_.end(), 0u); }
+  ReplacementFast fast() override {
+    ReplacementFast f;
+    f.kind = ReplacementKind::kNmru;
+    f.meta32 = mru_.data();
+    f.rng = rng_.get();
+    f.xorshift = dynamic_cast<rng::XorShift64Star*>(rng_.get());
+    f.ways = ways_;
+    return f;
+  }
   [[nodiscard]] std::string name() const override { return "nmru"; }
 
  private:

@@ -8,6 +8,11 @@
 // A policy instance owns the metadata for all sets of one cache.  Victims
 // are chosen among all ways; callers fill invalid ways first, so `victim`
 // is only consulted when the set is full.
+//
+// The policy logic itself lives in replacement_ops.h as inline kernels over
+// raw metadata; the classes here adapt it to the virtual interface and own
+// the storage.  fast() exposes that storage to the cache's devirtualized
+// access path.
 #pragma once
 
 #include <cstdint>
@@ -15,12 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "cache/replacement_ops.h"
 #include "rng/rng.h"
 
 namespace tsc::cache {
-
-/// Kinds for configuration.
-enum class ReplacementKind { kLru, kFifo, kRandom, kPlru, kNmru };
 
 /// Per-cache replacement metadata and victim selection.
 class Replacement {
@@ -38,6 +41,11 @@ class Replacement {
 
   /// Forget all history (cache flush).
   virtual void reset() = 0;
+
+  /// Raw-state view for the cache's inline fast path.  Pointers alias this
+  /// object's storage and stay valid for its lifetime (reset() reinitializes
+  /// in place, never reallocates).
+  [[nodiscard]] virtual ReplacementFast fast() = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -1,0 +1,76 @@
+// Arbitrary permutations of up to 16 bits, applied per simulated access.
+//
+// The Random Modulo cache (placement.h) realizes a Benes-network bit
+// permutation on every access; the permutation itself is memoized per
+// driver value, so the per-access work is "apply a known 16-bit-wide bit
+// permutation to a 16-bit value".  The scalar form is a k-iteration
+// select-and-place loop - the single hottest arithmetic in RM campaigns.
+// On x86-64 with SSSE3 the whole permutation is one byte-shuffle: spread
+// the input's bits into bytes, PSHUFB them through the source-index table,
+// and movemask the bytes back into bits.  Output is bit-for-bit the scalar
+// loop's; the dispatch is decided once per process.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define TSC_BITPERM_X86 1
+#endif
+
+namespace tsc {
+
+/// Scalar reference: out bit i = x bit srcs[i], for i in [0, k).
+[[nodiscard]] inline std::uint32_t permute_bits_scalar(
+    std::uint32_t x, const std::uint8_t* srcs, unsigned k) {
+  std::uint32_t out = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    out |= ((x >> srcs[i]) & 1u) << i;
+  }
+  return out;
+}
+
+#ifdef TSC_BITPERM_X86
+/// SSSE3 path: srcs must have 16 entries (pad with 0; masked off below).
+[[nodiscard]] __attribute__((target("ssse3"))) inline std::uint32_t
+permute_bits_ssse3(std::uint32_t x, const std::uint8_t* srcs, unsigned k) {
+  // Byte j of `spread` = 0xFF iff bit j of x is set:  broadcast x's two
+  // bytes (low byte to lanes 0-7, high byte to lanes 8-15), isolate each
+  // lane's bit with an AND mask, compare-equal against the mask.
+  const __m128i lane_src =
+      _mm_setr_epi8(0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1);
+  const __m128i bit_of_lane =
+      _mm_setr_epi8(1, 2, 4, 8, 16, 32, 64, static_cast<char>(128), 1, 2, 4,
+                    8, 16, 32, 64, static_cast<char>(128));
+  __m128i v = _mm_shuffle_epi8(
+      _mm_set1_epi16(static_cast<short>(x)), lane_src);
+  v = _mm_and_si128(v, bit_of_lane);
+  v = _mm_cmpeq_epi8(v, bit_of_lane);
+  // Byte i of the shuffle result = 0xFF iff bit srcs[i] of x is set.
+  v = _mm_shuffle_epi8(
+      v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs)));
+  const auto bits = static_cast<std::uint32_t>(_mm_movemask_epi8(v));
+  return bits & ((1u << k) - 1);
+}
+#endif
+
+/// Apply the permutation, using the fastest path this CPU supports.
+/// `srcs` must be 16 bytes (entries at and above k are ignored but read).
+/// Precondition: 1 <= k <= 16, srcs[i] < 16.
+[[nodiscard]] inline std::uint32_t permute_bits16(std::uint32_t x,
+                                                  const std::uint8_t* srcs,
+                                                  unsigned k) {
+#if defined(TSC_BITPERM_X86) && defined(__SSSE3__)
+  // The build baseline already guarantees SSSE3: dispatch statically.
+  return permute_bits_ssse3(x, srcs, k);
+#elif defined(TSC_BITPERM_X86)
+  // __builtin_cpu_supports is a load+test of a libgcc global - cheap enough
+  // to keep inline, and the branch is perfectly predicted.
+  if (__builtin_cpu_supports("ssse3")) return permute_bits_ssse3(x, srcs, k);
+  return permute_bits_scalar(x, srcs, k);
+#else
+  return permute_bits_scalar(x, srcs, k);
+#endif
+}
+
+}  // namespace tsc

@@ -1,0 +1,80 @@
+// Dense ProcId-indexed storage.
+//
+// Process identities in this simulator are small consecutive integers (the
+// OS is 0, tasks/parties count up from 1), so per-process cache state -
+// placement seeds, way partitions, resolved mapping contexts - lives in flat
+// arrays indexed by ProcId::value instead of hash maps.  A hash probe per
+// simulated access was one of the dominant costs of the original hot path;
+// an indexed load with a presence flag is one predictable branch.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tsc {
+
+/// Flat ProcId -> T map.  Lookup is an array index; absent entries read as
+/// a caller-supplied default.  Growth is amortized and only happens on
+/// `set`, never on lookup, so `find`/`get_or` are const and allocation-free.
+template <typename T>
+class ProcIndexed {
+ public:
+  ProcIndexed() = default;
+
+  /// Install (or replace) the entry for `proc`.
+  void set(ProcId proc, T value) {
+    const std::size_t i = index(proc);
+    if (i >= slots_.size()) {
+      slots_.resize(i + 1);
+      present_.resize(i + 1, 0);
+    }
+    count_ += present_[i] == 0 ? 1 : 0;
+    present_[i] = 1;
+    slots_[i] = std::move(value);
+  }
+
+  /// Pointer to the entry, nullptr when absent.
+  [[nodiscard]] const T* find(ProcId proc) const {
+    const std::size_t i = index(proc);
+    return i < slots_.size() && present_[i] != 0 ? &slots_[i] : nullptr;
+  }
+
+  /// The entry, or `fallback` when absent.
+  [[nodiscard]] const T& get_or(ProcId proc, const T& fallback) const {
+    const T* p = find(proc);
+    return p != nullptr ? *p : fallback;
+  }
+
+  /// Remove the entry (no-op when absent).
+  void erase(ProcId proc) {
+    const std::size_t i = index(proc);
+    if (i < slots_.size() && present_[i] != 0) {
+      present_[i] = 0;
+      slots_[i] = T{};
+      --count_;
+    }
+  }
+
+  [[nodiscard]] bool contains(ProcId proc) const {
+    return find(proc) != nullptr;
+  }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  [[nodiscard]] static std::size_t index(ProcId proc) {
+    // Dense-ID contract: process identities are small consecutive integers.
+    // A stray huge id would silently allocate gigabytes here, so fail loudly.
+    assert(proc.value < (1u << 20) && "ProcId values must be small and dense");
+    return proc.value;
+  }
+
+  std::vector<T> slots_;
+  std::vector<std::uint8_t> present_;  // vector<bool> is bit-packed; avoid
+  std::size_t count_ = 0;
+};
+
+}  // namespace tsc

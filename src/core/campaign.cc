@@ -63,15 +63,28 @@ SideResult run_victim_side(SetupKind kind, const CampaignConfig& config,
   const std::uint32_t line = geo.line_bytes();
   const std::uint32_t sets = geo.sets();
 
-  // The victim binary's fixed working-set pattern (see CampaignConfig).
-  std::vector<std::pair<Addr, unsigned>> noise_plan;
-  noise_plan.reserve(config.noise_set_count);
+  // The OS tick and the victim binary's fixed working-set pattern (see
+  // CampaignConfig) issue the same addresses every job: pre-decode both
+  // into AccessRecord batches once and replay them through the machine's
+  // amortized entry point.
+  std::vector<sim::AccessRecord> os_batch;
+  os_batch.reserve(config.os_lines);
+  for (unsigned i = 0; i < config.os_lines; ++i) {
+    os_batch.push_back(
+        sim::AccessRecord::make_load(os_pc, config.os_base + i * line));
+  }
+
+  std::vector<sim::AccessRecord> noise_batch;
   for (unsigned s = 0; s < config.noise_set_count; ++s) {
     const Addr index = (config.noise_set_lo + s) % sets;
     const auto depth = static_cast<unsigned>(
         rng::derive_seed(config.noise_pattern_seed, index) %
         (config.noise_max_depth + 1));
-    noise_plan.emplace_back(index, depth);
+    for (unsigned d = 0; d < depth; ++d) {
+      noise_batch.push_back(sim::AccessRecord::make_load(
+          noise_pc,
+          config.noise_base + (static_cast<Addr>(d) * sets + index) * line));
+    }
   }
 
   // A run starting mid-hyperperiod (sharded campaigns) must execute under
@@ -89,19 +102,12 @@ SideResult run_victim_side(SetupKind kind, const CampaignConfig& config,
 
     // OS tick: background kernel activity under the OS identity.
     m.set_process(kOsProc);
-    for (unsigned i = 0; i < config.os_lines; ++i) {
-      m.load(os_pc, config.os_base + i * line);
-    }
+    m.run(os_batch);
 
     // Victim's per-request processing: an irregular working set, `depth(s)`
     // lines deep in each covered modulo set.
     m.set_process(kCryptoProc);
-    for (const auto& [index, depth] : noise_plan) {
-      for (unsigned d = 0; d < depth; ++d) {
-        m.load(noise_pc,
-               config.noise_base + (static_cast<Addr>(d) * sets + index) * line);
-      }
-    }
+    m.run(noise_batch);
 
     const crypto::Block pt = random_block(pt_rng);
     (void)aes.encrypt(pt);

@@ -15,27 +15,6 @@ Hierarchy::Hierarchy(HierarchyConfig config, std::shared_ptr<rng::Rng> rng)
   }
 }
 
-HierarchyResult Hierarchy::access(Port port, ProcId proc, Addr addr,
-                                  bool write) {
-  const LatencyConfig& lat = config_.latency;
-  HierarchyResult result;
-  cache::Cache& l1 = port == Port::kInstruction ? *l1i_ : *l1d_;
-
-  const cache::AccessResult r1 = l1.access(proc, addr, write);
-  result.latency = lat.l1_hit;
-  result.l1_hit = r1.hit;
-  if (r1.hit) return result;
-
-  if (l2_ != nullptr) {
-    const cache::AccessResult r2 = l2_->access(proc, addr, write);
-    result.latency += lat.l2_hit;
-    result.l2_hit = r2.hit;
-    if (r2.hit) return result;
-  }
-  result.latency += lat.memory;
-  return result;
-}
-
 void Hierarchy::set_seed(ProcId proc, Seed master) {
   // Independent per-level seeds from one master: a correlation between L1
   // and L2 layouts would weaken both the i.i.d. argument and the security

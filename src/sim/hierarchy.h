@@ -5,6 +5,10 @@
 //
 // For the MBPTACache and TSCache setups the L1s implement Random Modulo and
 // the shared L2 implements hashRP, exactly as in the paper.
+//
+// access() is defined inline: it sits between the Machine's instruction
+// loop and Cache::access on the hottest path of the simulator, and is
+// little more than latency bookkeeping around the cache calls.
 #pragma once
 
 #include <memory>
@@ -44,7 +48,25 @@ class Hierarchy {
   Hierarchy(HierarchyConfig config, std::shared_ptr<rng::Rng> rng);
 
   /// One memory access through the hierarchy.
-  HierarchyResult access(Port port, ProcId proc, Addr addr, bool write);
+  HierarchyResult access(Port port, ProcId proc, Addr addr, bool write) {
+    const LatencyConfig& lat = config_.latency;
+    HierarchyResult result;
+    cache::Cache& l1 = port == Port::kInstruction ? *l1i_ : *l1d_;
+
+    const cache::AccessResult r1 = l1.access(proc, addr, write);
+    result.latency = lat.l1_hit;
+    result.l1_hit = r1.hit;
+    if (r1.hit) return result;
+
+    if (l2_ != nullptr) {
+      const cache::AccessResult r2 = l2_->access(proc, addr, write);
+      result.latency += lat.l2_hit;
+      result.l2_hit = r2.hit;
+      if (r2.hit) return result;
+    }
+    result.latency += lat.memory;
+    return result;
+  }
 
   /// Install a process's master seed; each cache level receives an
   /// independently derived seed.  Returns nothing; timing cost is accounted

@@ -7,38 +7,25 @@ namespace tsc::sim {
 Machine::Machine(HierarchyConfig config, std::shared_ptr<rng::Rng> rng)
     : hierarchy_(std::move(config), std::move(rng)) {}
 
-void Machine::instr(Addr pc) {
-  ++stats_.instructions;
-  const HierarchyResult f =
-      hierarchy_.access(Port::kInstruction, proc_, pc, false);
-  // 1 issue cycle; fetch latency beyond an L1 hit stalls the front-end.
-  now_ += 1 + (f.latency - latency().l1_hit);
-}
-
-void Machine::instr_block(Addr pc, unsigned n) {
-  for (unsigned i = 0; i < n; ++i) instr(pc + 4 * i);
-}
-
-void Machine::load(Addr pc, Addr ea) {
-  instr(pc);
-  ++stats_.loads;
-  const HierarchyResult d = hierarchy_.access(Port::kData, proc_, ea, false);
-  now_ += d.latency - latency().l1_hit;
-}
-
-void Machine::store(Addr pc, Addr ea) {
-  instr(pc);
-  ++stats_.stores;
-  const HierarchyResult d = hierarchy_.access(Port::kData, proc_, ea, true);
-  now_ += d.latency - latency().l1_hit;
-}
-
-void Machine::branch(Addr pc, bool taken) {
-  instr(pc);
-  ++stats_.branches;
-  if (taken) {
-    ++stats_.taken_branches;
-    now_ += latency().branch_penalty;
+void Machine::run(std::span<const AccessRecord> batch) {
+  // With instr/load/store/branch inline, this compiles into one tight
+  // dispatch loop over the batch - the amortized entry point the workload
+  // and campaign replay loops drive.
+  for (const AccessRecord& r : batch) {
+    switch (r.op) {
+      case AccessRecord::Op::kInstr:
+        instr(r.pc);
+        break;
+      case AccessRecord::Op::kLoad:
+        load(r.pc, r.ea);
+        break;
+      case AccessRecord::Op::kStore:
+        store(r.pc, r.ea);
+        break;
+      case AccessRecord::Op::kBranch:
+        branch(r.pc, r.taken);
+        break;
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include "sim/workload.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 
@@ -101,9 +102,18 @@ TraceResult run_trace(Machine& machine, ProcId proc, const Trace& trace,
   machine.hierarchy().reset_stats();
   machine.set_process(proc);
   const Cycles start = machine.now();
+  // Batched replay: pre-decode the stream into fixed-size chunks so the
+  // machine's amortized entry point does the per-access work.
+  std::array<AccessRecord, 1024> chunk;
+  std::size_t n = 0;
   for (const Addr a : trace.addresses) {
-    machine.load(code_base, a);
+    chunk[n++] = AccessRecord::make_load(code_base, a);
+    if (n == chunk.size()) {
+      machine.run({chunk.data(), n});
+      n = 0;
+    }
   }
+  machine.run({chunk.data(), n});
   TraceResult result;
   result.cycles = machine.now() - start;
   result.accesses = trace.addresses.size();

@@ -54,8 +54,8 @@ TEST(CacheModel, ConflictEvictionWithLru) {
   EXPECT_TRUE(c->access(kP1, a, false).hit);
   const AccessResult r = c->access(kP1, d, false);
   EXPECT_FALSE(r.hit);
-  ASSERT_TRUE(r.evicted.has_value());
-  EXPECT_EQ(*r.evicted, c->geometry().line_addr(b));
+  ASSERT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_line, c->geometry().line_addr(b));
   EXPECT_TRUE(c->access(kP1, a, false).hit) << "a must have survived";
   EXPECT_FALSE(c->access(kP1, b, false).hit) << "b was evicted";
 }

@@ -1,0 +1,367 @@
+// Tests for the devirtualized access path introduced by the hot-path
+// overhaul: resolved mapping contexts, SoA line storage, specialized
+// replacement kernels, the RM Benes-memo diagnostics, RPCache in-place
+// reseeding, and the batched Machine::run entry point.
+//
+// The placement-equivalence tests pin the resolved-context math against
+// independent re-implementations of the ORIGINAL seed formulas (written out
+// here, not shared with the library), so a silent algebraic drift in the
+// optimized helpers cannot pass.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/benes.h"
+#include "cache/builder.h"
+#include "cache/mapper.h"
+#include "cache/placement.h"
+#include "common/bitops.h"
+#include "rng/rng.h"
+#include "sim/machine.h"
+
+namespace tsc::cache {
+namespace {
+
+constexpr ProcId kP1{1};
+constexpr ProcId kP2{2};
+
+std::shared_ptr<rng::Rng> test_rng(std::uint64_t seed = 42) {
+  return std::make_shared<rng::XorShift64Star>(seed);
+}
+
+// --- independent references (the seed implementation's math, restated) ----
+
+constexpr std::uint64_t ref_mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint32_t ref_xor_index(const Geometry& g, Addr line, Seed seed) {
+  const std::uint32_t idx = g.index_of_line(line);
+  const auto mask =
+      static_cast<std::uint32_t>(ref_mix64(seed.value) & (g.sets() - 1));
+  return idx ^ mask;
+}
+
+std::uint32_t ref_hashrp(const Geometry& g, unsigned line_addr_bits,
+                         Addr line, Seed seed) {
+  const unsigned w = g.index_bits() == 0 ? 1 : g.index_bits();
+  const std::uint64_t s = ref_mix64(seed.value);
+  const std::uint64_t la = line & low_mask(line_addr_bits);
+  const unsigned field_count = (line_addr_bits + w - 1) / w;
+  const unsigned lane = w + 1;
+  std::uint64_t acc = bits(s, 48, w);
+  for (unsigned i = 0; i < field_count; ++i) {
+    const unsigned lo = i * w;
+    const unsigned width =
+        lane < line_addr_bits - lo ? lane : line_addr_bits - lo;
+    const std::uint64_t field = bits(la, lo, width) ^ bits(s, (7 * i) % 40, lane);
+    const unsigned neighbour_lo = ((i + 1) % field_count) * w;
+    const auto amt = static_cast<unsigned>(
+        (bits(s, w + 4 * i, 4) ^ bits(la, neighbour_lo, 4)) & 0xF);
+    acc ^= rotl_field(field, lane, amt) & low_mask(w);
+  }
+  return static_cast<std::uint32_t>(acc & (g.sets() - 1));
+}
+
+std::uint32_t ref_random_modulo(const Geometry& g, Addr line, Seed seed) {
+  const unsigned k = g.index_bits();
+  if (k == 0) return 0;
+  const std::uint32_t idx = g.index_of_line(line);
+  const Addr tag = g.tag_of_line(line);
+  const std::uint64_t s = ref_mix64(seed.value);
+  const auto xored_idx =
+      static_cast<std::uint32_t>((idx ^ s) & (g.sets() - 1));
+  const std::uint64_t driver = tag ^ (s >> k);
+  const std::vector<std::uint32_t> perm = benes_permutation(k, driver);
+  std::uint32_t out = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    out |= ((xored_idx >> perm[i]) & 1u) << i;
+  }
+  return out;
+}
+
+// --- placement equivalence ------------------------------------------------
+
+TEST(FastPathEquivalence, XorIndexMatchesReference) {
+  const Geometry g = l1_geometry_arm920t();
+  const auto p = make_placement(PlacementKind::kXorIndex, g);
+  rng::SplitMix64 r(7);
+  for (int i = 0; i < 5000; ++i) {
+    const Addr line = r.next_u64() >> 37;
+    const Seed seed{r.next_u64()};
+    EXPECT_EQ(p->set_index(line, seed), ref_xor_index(g, line, seed));
+  }
+}
+
+TEST(FastPathEquivalence, HashRpMatchesReference) {
+  for (const Geometry& g :
+       {l1_geometry_arm920t(), l2_geometry_arm920t(), Geometry(4096, 2, 16)}) {
+    const HashRpPlacement p(g);
+    const unsigned line_addr_bits = 32 - g.offset_bits();
+    rng::SplitMix64 r(11);
+    for (int i = 0; i < 3000; ++i) {
+      const Addr line = r.next_u64() & low_mask(line_addr_bits);
+      const Seed seed{r.next_u64()};
+      ASSERT_EQ(p.set_index(line, seed),
+                ref_hashrp(g, line_addr_bits, line, seed))
+          << "line " << line << " seed " << seed.value;
+    }
+  }
+}
+
+TEST(FastPathEquivalence, RandomModuloMatchesReference) {
+  // Covers both memo layouts: the per-driver LUT (k <= 8, the L1 shape) and
+  // the source-index permute (k > 8, the L2 shape).
+  for (const Geometry& g : {l1_geometry_arm920t(), l2_geometry_arm920t()}) {
+    const RandomModuloPlacement p(g);
+    rng::SplitMix64 r(13);
+    for (int i = 0; i < 3000; ++i) {
+      const Addr line = r.next_u64() >> 37;
+      const Seed seed{r.next_u64() & 0xFFFF};  // repeat seeds: exercise memo
+      ASSERT_EQ(p.set_index(line, seed), ref_random_modulo(g, line, seed))
+          << "line " << line << " seed " << seed.value;
+    }
+  }
+}
+
+TEST(FastPathEquivalence, CacheAccessSetMatchesMapperMap) {
+  // The specialized access path and the virtual mapper must consult the
+  // same set for every design.
+  for (const MapperKind mk :
+       {MapperKind::kModulo, MapperKind::kXorIndex, MapperKind::kHashRp,
+        MapperKind::kRandomModulo, MapperKind::kRpCache}) {
+    CacheSpec spec;
+    spec.config.geometry = l1_geometry_arm920t();
+    spec.mapper = mk;
+    spec.replacement = ReplacementKind::kLru;
+    auto c = build_cache(spec, test_rng());
+    c->set_seed(kP1, Seed{0xABCDEF});
+    rng::SplitMix64 r(17);
+    for (int i = 0; i < 2000; ++i) {
+      const Addr addr = r.next_u64() >> 30;
+      const Addr line = spec.config.geometry.line_addr(addr);
+      ASSERT_EQ(c->access(kP1, addr, false).set, c->mapper().map(line, kP1))
+          << to_string(mk);
+    }
+  }
+}
+
+// --- RM Benes-memo diagnostics (satellite) --------------------------------
+
+TEST(RmMemoStats, CountsHitsAndMisses) {
+  const Geometry g = l1_geometry_arm920t();
+  const RandomModuloPlacement p(g);
+  const Seed seed{99};
+  // Same line, same seed: one driver -> first access builds the slot, the
+  // rest reuse it.
+  for (int i = 0; i < 10; ++i) (void)p.set_index(0x12345, seed);
+  EXPECT_EQ(p.memo_stats().misses, 1u);
+  EXPECT_EQ(p.memo_stats().hits, 9u);
+  EXPECT_NEAR(p.memo_stats().hit_rate(), 0.9, 1e-12);
+
+  p.reset_memo_stats();
+  EXPECT_EQ(p.memo_stats().hits, 0u);
+  EXPECT_EQ(p.memo_stats().misses, 0u);
+  EXPECT_EQ(p.memo_stats().hit_rate(), 0.0);
+
+  // Distinct tags under one seed: distinct drivers, each a fresh slot.
+  for (Addr t = 0; t < 32; ++t) {
+    (void)p.set_index((t << g.index_bits()) | 5, seed);
+  }
+  EXPECT_EQ(p.memo_stats().misses, 32u);
+}
+
+TEST(RmMemoStats, ExposedThroughCacheDiagnostics) {
+  CacheSpec spec;
+  spec.config.geometry = l1_geometry_arm920t();
+  spec.mapper = MapperKind::kRandomModulo;
+  spec.replacement = ReplacementKind::kRandom;
+  auto c = build_cache(spec, test_rng());
+  for (int i = 0; i < 100; ++i) (void)c->access(kP1, 0x4000, false);
+  const auto stats = c->rm_memo_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->hits + stats->misses, 100u);
+  EXPECT_GE(stats->hits, 99u) << "one line -> one driver -> one rebuild";
+
+  // Non-RM designs expose nothing.
+  CacheSpec mod = spec;
+  mod.mapper = MapperKind::kModulo;
+  mod.replacement = ReplacementKind::kLru;
+  EXPECT_FALSE(build_cache(mod)->rm_memo_stats().has_value());
+}
+
+// --- RPCache in-place reseeding (satellite) -------------------------------
+
+TEST(RpCacheReseed, RegeneratesTablesWithoutReallocation) {
+  const Geometry g = l2_geometry_arm920t();
+  RpCacheMapper mapper(g);
+  mapper.set_seed(kP1, Seed{1});
+  const std::uint64_t after_first = mapper.table_allocations();
+  // A hyperperiod's worth of reseeds must not allocate again.
+  for (std::uint64_t epoch = 2; epoch < 66; ++epoch) {
+    mapper.set_seed(kP1, Seed{epoch});
+    EXPECT_EQ(mapper.table_allocations(), after_first)
+        << "reseed " << epoch << " reallocated the permutation table";
+  }
+  // And the in-place regeneration must equal a from-scratch build.
+  RpCacheMapper fresh(g);
+  fresh.set_seed(kP1, Seed{65});
+  for (Addr line = 0; line < 4096; ++line) {
+    ASSERT_EQ(mapper.map(line, kP1), fresh.map(line, kP1));
+  }
+}
+
+TEST(RpCacheReseed, UnseededProcessUsesDefaultSeedTable) {
+  const Geometry g = l1_geometry_arm920t();
+  RpCacheMapper mapper(g, Seed{0xDEFA});
+  RpCacheMapper explicitly(g);
+  explicitly.set_seed(kP2, Seed{0xDEFA});
+  for (Addr line = 0; line < 512; ++line) {
+    ASSERT_EQ(mapper.map(line, kP1), explicitly.map(line, kP2));
+  }
+}
+
+// --- way partitioning x secure contention (satellite) ---------------------
+
+CacheSpec rpcache_spec(const Geometry& g) {
+  CacheSpec spec;
+  spec.config.geometry = g;
+  spec.mapper = MapperKind::kRpCache;
+  spec.replacement = ReplacementKind::kLru;
+  return spec;
+}
+
+/// Address of a line that RPCache maps to `target_set` for `proc`.
+Addr addr_in_set(const Cache& c, ProcId proc, std::uint32_t target_set,
+                 unsigned nth) {
+  unsigned seen = 0;
+  for (Addr line = 0;; ++line) {
+    if (c.mapper().map(line, proc) == target_set) {
+      if (seen == nth) return line * c.geometry().line_bytes();
+      ++seen;
+    }
+  }
+}
+
+TEST(PartitionSecureContention, ForeignVictimInPartitionTriggersRule) {
+  // 4-way geometry: this exercises the specialized (WAYS == 4) fast path.
+  auto c = build_cache(rpcache_spec(Geometry(2048, 4, 32)), test_rng(3));
+  c->set_seed(kP1, Seed{11});
+  c->set_seed(kP2, Seed{22});
+  // Both processes install only into ways {0, 1}.
+  c->set_way_partition(kP1, 0, 2);
+  c->set_way_partition(kP2, 0, 2);
+
+  // P1 fills ways 0 and 1 of set 3 (as mapped for P2's addresses, so the
+  // conflict is guaranteed regardless of the two permutation tables).
+  const std::uint32_t set = 3;
+  (void)c->access(kP1, addr_in_set(*c, kP1, set, 0), false);
+  (void)c->access(kP1, addr_in_set(*c, kP1, set, 1), false);
+  ASSERT_EQ(c->stats().contention_evictions, 0u);
+
+  // P2 misses into the same set: the round-robin victim inside the shared
+  // partition belongs to P1, so the RPCache rule must fire - no allocation,
+  // one contention eviction.
+  const Addr p2_addr = addr_in_set(*c, kP2, set, 0);
+  const AccessResult r = c->access(kP2, p2_addr, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(r.allocated);
+  EXPECT_EQ(c->stats().contention_evictions, 1u);
+  EXPECT_FALSE(c->contains(kP2, p2_addr))
+      << "secure rule must not install the requesting line";
+}
+
+TEST(PartitionSecureContention, OwnVictimInPartitionEvictsNormally) {
+  auto c = build_cache(rpcache_spec(Geometry(2048, 4, 32)), test_rng(4));
+  c->set_seed(kP1, Seed{11});
+  c->set_way_partition(kP1, 2, 2);
+
+  const std::uint32_t set = 5;
+  const Addr a = addr_in_set(*c, kP1, set, 0);
+  const Addr b = addr_in_set(*c, kP1, set, 1);
+  const Addr d = addr_in_set(*c, kP1, set, 2);
+  (void)c->access(kP1, a, false);
+  (void)c->access(kP1, b, false);
+  const AccessResult r = c->access(kP1, d, false);  // partition full
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.allocated) << "own-line eviction must not trigger the rule";
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(c->stats().contention_evictions, 0u);
+  EXPECT_TRUE(c->contains(kP1, d));
+}
+
+TEST(PartitionSecureContention, GenericWayCountPathBehavesIdentically) {
+  // 8-way geometry takes the generic (WAYS == 0) specialization; the rule
+  // must behave exactly as on the 4-way fast path.
+  auto c = build_cache(rpcache_spec(Geometry(4096, 8, 32)), test_rng(5));
+  c->set_seed(kP1, Seed{11});
+  c->set_seed(kP2, Seed{22});
+  c->set_way_partition(kP1, 0, 3);
+  c->set_way_partition(kP2, 0, 3);
+
+  const std::uint32_t set = 7;
+  for (unsigned n = 0; n < 3; ++n) {
+    (void)c->access(kP1, addr_in_set(*c, kP1, set, n), false);
+  }
+  const AccessResult r = c->access(kP2, addr_in_set(*c, kP2, set, 0), false);
+  EXPECT_FALSE(r.allocated);
+  EXPECT_EQ(c->stats().contention_evictions, 1u);
+}
+
+// --- batched replay (tentpole: Machine::run) ------------------------------
+
+TEST(BatchedReplay, RunMatchesFineGrainedCalls) {
+  const auto config = sim::arm920t_config(MapperKind::kRandomModulo,
+                                          MapperKind::kHashRp,
+                                          ReplacementKind::kRandom);
+  sim::Machine fine(config, test_rng(9));
+  sim::Machine batched(config, test_rng(9));
+  fine.hierarchy().set_seed(kP1, Seed{123});
+  batched.hierarchy().set_seed(kP1, Seed{123});
+  fine.set_process(kP1);
+  batched.set_process(kP1);
+
+  std::vector<sim::AccessRecord> batch;
+  rng::SplitMix64 r(21);
+  for (int i = 0; i < 4000; ++i) {
+    const Addr pc = 0x1000 + (r.next_u64() & 0xFFF0);
+    const Addr ea = 0x80000 + (r.next_u64() & 0x3FFF0);
+    switch (i % 4) {
+      case 0:
+        fine.instr(pc);
+        batch.push_back(sim::AccessRecord::make_instr(pc));
+        break;
+      case 1:
+        fine.load(pc, ea);
+        batch.push_back(sim::AccessRecord::make_load(pc, ea));
+        break;
+      case 2:
+        fine.store(pc, ea);
+        batch.push_back(sim::AccessRecord::make_store(pc, ea));
+        break;
+      default:
+        fine.branch(pc, (i & 8) != 0);
+        batch.push_back(sim::AccessRecord::make_branch(pc, (i & 8) != 0));
+        break;
+    }
+  }
+  batched.run(batch);
+
+  EXPECT_EQ(batched.now(), fine.now());
+  EXPECT_EQ(batched.stats().instructions, fine.stats().instructions);
+  EXPECT_EQ(batched.stats().loads, fine.stats().loads);
+  EXPECT_EQ(batched.stats().stores, fine.stats().stores);
+  EXPECT_EQ(batched.stats().taken_branches, fine.stats().taken_branches);
+  EXPECT_EQ(batched.hierarchy().l1d().stats().hits,
+            fine.hierarchy().l1d().stats().hits);
+  EXPECT_EQ(batched.hierarchy().l1i().stats().misses,
+            fine.hierarchy().l1i().stats().misses);
+  EXPECT_EQ(batched.hierarchy().l2().stats().accesses,
+            fine.hierarchy().l2().stats().accesses);
+}
+
+}  // namespace
+}  // namespace tsc::cache

@@ -1,0 +1,72 @@
+// Golden bit-identity test for the hot-path overhaul.
+//
+// tests/golden/fig5_s3000_ss1000.json is the fig5 campaign JSON produced by
+// the PRE-refactor implementation (virtual mapper dispatch, hash-map seeds,
+// AoS line array) at samples=3000, shard_size=1000.  The optimized hierarchy
+// must reproduce it byte for byte, for any worker count: placement results,
+// replacement decisions, RNG draw order, timing accounting and JSON
+// serialization all have to be exactly preserved.
+//
+// If an intentional semantic change ever invalidates the fixture, regenerate
+// it with:
+//   tsc_run --experiment fig5 --samples 3000 --shard-size 1000 --json \
+//       > tests/golden/fig5_s3000_ss1000.json
+// and say so loudly in the commit message - this file is the contract that
+// performance work does not move simulation results.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/experiment.h"
+
+namespace tsc::runner {
+namespace {
+
+#ifndef TSC_SOURCE_DIR
+#error "TSC_SOURCE_DIR must point at the repository root"
+#endif
+
+std::string read_fixture(const std::string& relative) {
+  const std::string path = std::string(TSC_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Render the experiment exactly as `tsc_run --json` does (compact dump plus
+/// trailing newline), so the fixture can be regenerated with the CLI.
+std::string run_fig5_json(unsigned workers) {
+  const Experiment* fig5 = find_experiment("fig5");
+  EXPECT_NE(fig5, nullptr);
+  RunOptions options;
+  options.samples = 3000;
+  options.shard_size = 1000;
+  options.workers = workers;
+  Json doc = Json::object();
+  doc.set("experiment", fig5->name)
+      .set("description", fig5->description)
+      .set("seed", options.master_seed)
+      .set("results", fig5->run(options));
+  return doc.dump(-1) + "\n";
+}
+
+TEST(GoldenFig5, MatchesPreRefactorOutputByteForByte) {
+  const std::string expected = read_fixture("tests/golden/fig5_s3000_ss1000.json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(run_fig5_json(/*workers=*/2), expected)
+      << "optimized hierarchy diverged from the seed implementation";
+}
+
+TEST(GoldenFig5, WorkerCountDoesNotChangeOutput) {
+  const std::string expected = read_fixture("tests/golden/fig5_s3000_ss1000.json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(run_fig5_json(/*workers=*/5), expected)
+      << "sharded campaign output must be worker-count invariant";
+}
+
+}  // namespace
+}  // namespace tsc::runner

@@ -168,7 +168,7 @@ TEST(RandomnessProperties, RandomReplacementVictimsSpreadOverWays) {
   std::set<Addr> evicted;
   for (std::uint64_t t = 0; t < 200; ++t) {
     const AccessResult r = c->access(kP1, t * 16 * 32, false);
-    if (r.evicted.has_value()) evicted.insert(*r.evicted);
+    if (r.evicted) evicted.insert(r.evicted_line);
   }
   EXPECT_GT(evicted.size(), 100u) << "evictions must churn through lines";
 }
@@ -184,8 +184,8 @@ TEST(RandomnessProperties, RpCacheDisturbanceHitsManySets) {
   std::set<std::uint32_t> disturbed;
   for (std::uint64_t t = 0; t < 300; ++t) {
     const AccessResult r = c->access(ProcId{2}, 0x100000 + t * 32, false);
-    if (r.evicted.has_value()) {
-      disturbed.insert(static_cast<std::uint32_t>(*r.evicted % 128));
+    if (r.evicted) {
+      disturbed.insert(static_cast<std::uint32_t>(r.evicted_line % 128));
     }
   }
   EXPECT_GT(disturbed.size(), 60u)
