@@ -1,0 +1,14 @@
+// Attack-surface matrix: Prime+Probe and whole-cache Evict+Time against the
+// simulated AES victim, across all four placement policies (modulo, hashRP,
+// RPCache, random-modulo) with way partitioning on/off.
+//
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "attack_matrix" and shared with the tsc_run
+// driver, so `bench_attack_matrix [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment attack_matrix ...` are the same experiment.  Output
+// is a JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
+
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("attack_matrix", argc, argv);
+}

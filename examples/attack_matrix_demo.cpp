@@ -1,0 +1,64 @@
+// The eviction-attack matrix in miniature: run set-granular Prime+Probe
+// against the simulated AES victim on the deterministic (modulo) platform
+// and on the random-modulo platform, and watch the per-key-byte ranking
+// collapse to chance under randomized placement.
+//
+//   $ ./examples/attack_matrix_demo
+//
+// The full 2 x 4 x 2 matrix (both attacks, four policies, partitioning
+// on/off) lives in `tsc_run --experiment attack_matrix`.
+#include <cstdio>
+
+#include "attack/metrics.h"
+#include "attack/primeprobe.h"
+#include "core/policy.h"
+#include "crypto/sim_aes.h"
+#include "rng/rng.h"
+
+int main() {
+  using namespace tsc;
+
+  constexpr std::size_t kSamples = 6000;
+  std::printf("Prime+Probe vs AES, %zu trials per policy\n"
+              "(prime all L1D sets -> victim encrypts -> probe; misses in\n"
+              " the modulo-predicted set of each round-1 table line score\n"
+              " the key-byte guesses)\n\n",
+              kSamples);
+
+  crypto::Key victim_key{};
+  rng::Pcg32 key_rng(2024);
+  for (auto& b : victim_key) {
+    b = static_cast<std::uint8_t>(key_rng.next_below(256));
+  }
+
+  for (const core::PlacementPolicy policy :
+       {core::PlacementPolicy::kModulo, core::PlacementPolicy::kRandomModulo}) {
+    const auto machine = core::build_policy_machine(policy, 0xC0FFEE, false);
+    crypto::SimAesLayout layout{};
+    crypto::SimAes aes(*machine, layout, victim_key);
+    rng::XorShift64Star pt_rng(99);
+
+    const attack::PrimeProbeOutcome outcome = attack::run_aes_prime_probe(
+        *machine, core::kMatrixVictim, core::kMatrixAttacker, aes, kSamples,
+        pt_rng, attack::PrimeProbeConfig{});
+    const attack::MatrixRanking ranking = attack::score_prime_probe(
+        outcome.profile, machine->hierarchy().l1d().geometry(), layout.tables,
+        victim_key);
+
+    std::printf("--- %s ---\n", core::to_string(policy).c_str());
+    std::printf("true-byte rank : ");
+    for (int i = 0; i < 16; ++i) {
+      std::printf("%4d", ranking.bytes[static_cast<std::size_t>(i)].true_rank);
+    }
+    std::printf("\nmean rank %.1f (chance 127.5), line-resolved bytes %d/16,"
+                "\nchannel MI %.3f bits (corrected %.3f) of %.2f-bit secret\n\n",
+                ranking.mean_true_rank(), ranking.line_resolved_bytes(),
+                outcome.channel.mi_bits(), outcome.channel.mi_bits_corrected(),
+                outcome.channel.x_entropy_bits());
+  }
+
+  std::printf("Ranks below 8 pin a 32B table line (the best any cache attack\n"
+              "can do); ranks near 127.5 mean the placement decorrelated the\n"
+              "attacker's architectural model from the victim's layout.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Attacker-success scoring for the eviction-based attack matrix.
+//
+// Both new attackers reduce to the same question the Bernstein analysis
+// answers: for every key-byte position, score all 256 guesses, rank them,
+// and report where the true byte landed.  kept low = the policy leaks;
+// rank ~127.5 on average = the observable is key-independent noise.
+//
+// Both attackers score a guess by the same CONTRAST statistic over their
+// profile: how much the observable in the modulo-predicted set of the
+// guess's round-1 table line exceeded that set's overall mean, exactly when
+// the plaintext byte selected that line.  For Prime+Probe the observable is
+// the probe-miss count of every set per trial; for Evict+Time it is the
+// re-run duration of the one set evicted that trial.  The prediction uses
+// only the attacker's architectural (modulo) model of the victim binary -
+// precisely the model randomized placement invalidates.
+//
+// Because placement functions never see the low offset bits, both attacks
+// resolve key bytes at cache-line granularity only: with 8 table entries
+// per 32B line the best possible true rank is bounded by 7, and a "leaky"
+// verdict is mean rank far below chance (127.5), not rank 0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "attack/evicttime.h"
+#include "attack/primeprobe.h"
+#include "cache/geometry.h"
+#include "common/types.h"
+#include "crypto/aes.h"
+
+namespace tsc::attack {
+
+/// Scored guesses for one key-byte position.
+struct ByteRanking {
+  /// Score per guess (higher = more likely the key byte): the mean excess
+  /// of the observable in the guess's predicted sets (probe misses for
+  /// Prime+Probe, re-run cycles for Evict+Time).
+  std::array<double, 256> score{};
+  /// Guesses by decreasing score (stable: ties keep value order).
+  std::array<std::uint8_t, 256> ranking{};
+  /// Rank of the true key byte (0 = nailed; ~127.5 expected at chance).
+  int true_rank = 0;
+};
+
+/// Full 16-byte outcome of one attack cell.
+struct MatrixRanking {
+  std::array<ByteRanking, 16> bytes{};
+  crypto::Key victim_key{};
+
+  /// Mean true rank across the 16 positions (the cell's headline number;
+  /// chance level is 127.5).
+  [[nodiscard]] double mean_true_rank() const;
+  /// Best (lowest) true rank across positions.
+  [[nodiscard]] int best_true_rank() const;
+  /// Positions resolved to cache-line granularity (true rank < 256 / line
+  /// candidates is the theoretical floor; this counts true_rank < 8, the
+  /// 32B-line success criterion the Bernstein analysis also uses).
+  [[nodiscard]] int line_resolved_bytes() const;
+};
+
+/// Rank one position's scores; `truth` is the ground-truth key byte.
+[[nodiscard]] ByteRanking rank_scores(const std::array<double, 256>& score,
+                                      std::uint8_t truth);
+
+/// Score a Prime+Probe profile.  For position p and guess g the predicted
+/// victim set of value v is the modulo set of table (p mod 4)'s line
+/// (v ^ g) / entries_per_line under `l1` and `tables_base` (the attacker's
+/// architectural model of the victim binary).  The score is the
+/// trial-weighted mean excess of observed probe misses in that predicted
+/// set over the set's overall mean.
+[[nodiscard]] MatrixRanking score_prime_probe(const PrimeProbeProfile& profile,
+                                              const cache::Geometry& l1,
+                                              Addr tables_base,
+                                              const crypto::Key& victim_key);
+
+/// Score an Evict+Time profile by the same predicted-set contrast: for
+/// position p and guess g, how much slower the re-run was on trials that
+/// evicted the predicted set of the plaintext byte's table line than that
+/// set's average re-run.
+[[nodiscard]] MatrixRanking score_evict_time(const EvictTimeProfile& profile,
+                                             const cache::Geometry& l1,
+                                             Addr tables_base,
+                                             const crypto::Key& victim_key);
+
+}  // namespace tsc::attack

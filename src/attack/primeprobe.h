@@ -1,0 +1,159 @@
+// Set-granular Prime+Probe against the simulated AES victim.
+//
+// The classic eviction-based attack (Osvik/Shamir/Tromer; survey
+// arXiv:2312.11094): the attacker fills the data cache with its own lines
+// ("prime"), lets the victim run one encryption, then re-touches its lines
+// ("probe") and times each reload.  Slow reloads mark the cache sets the
+// victim's secret-dependent table lookups displaced.
+//
+// The attacker reasons in the ARCHITECTURAL frame: its prime buffer is a
+// contiguous, way-size-aligned region, so under modulo placement probe line
+// i sits in set i mod sets and a probe miss directly names the victim's set.
+// That inference is exactly what the randomized placements break: under
+// hashRP/RM/RPCache the victim's table lines land in seed- or
+// table-dependent sets unrelated to the modulo frame, so the same protocol
+// measures how much of the channel each policy leaves standing - the
+// cross-policy comparison "Random and Safe Cache Architecture"
+// (arXiv:2309.16172) runs for its policy matrix.
+//
+// The observable per trial is the per-modulo-index probe-miss vector; an
+// AES campaign accumulates it per (plaintext byte position, byte value)
+// into a PrimeProbeProfile, the Prime+Probe analogue of the Bernstein
+// TimingProfile.  All accumulators are integer-valued and mergeable, so the
+// sharded campaign engine merges shard profiles exactly, in shard order,
+// independent of worker count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/aes.h"
+#include "crypto/sim_aes.h"
+#include "rng/rng.h"
+#include "sim/machine.h"
+#include "stats/mi.h"
+
+namespace tsc::attack {
+
+/// Attacker-controlled memory image for the prime/probe buffers.
+struct PrimeProbeConfig {
+  /// Base of the prime buffer; must be way-size aligned so prime line i has
+  /// modulo index i mod sets (the attacker's architectural frame).
+  Addr attacker_base = 0x0060'0000;
+  /// Instruction address of the probe loop (kept hot: a stale probe-loop
+  /// fetch would be charged to the first probed line).
+  Addr attacker_code = 0x0068'0000;
+};
+
+/// The prime/probe primitive over one machine's L1 data cache.
+class PrimeProbe {
+ public:
+  /// Binds to `machine`'s L1D geometry.  Accesses issue under `attacker`.
+  PrimeProbe(sim::Machine& machine, ProcId attacker, PrimeProbeConfig config);
+
+  /// Fill the data cache with the attacker's lines (sets x ways loads, in
+  /// line order).  One pass: the protocol is fixed across policies so the
+  /// comparison measures the policy, not an adaptive attacker.
+  void prime();
+
+  /// Re-touch the primed lines in prime order, timing each reload.  Adds 1
+  /// to `per_set_misses[i mod sets]` for every slow reload of line i and
+  /// returns the total number of slow reloads.  `per_set_misses` must have
+  /// `sets()` entries; it is NOT cleared first (campaigns accumulate).
+  /// `first_miss_set` (optional) receives the modulo index of the first
+  /// slow line, or sets() when everything hit.
+  unsigned probe(std::span<std::uint32_t> per_set_misses,
+                 std::uint32_t* first_miss_set = nullptr);
+
+  [[nodiscard]] std::uint32_t sets() const { return sets_; }
+  [[nodiscard]] std::uint32_t lines() const { return lines_; }
+
+ private:
+  sim::Machine& machine_;
+  ProcId attacker_;
+  PrimeProbeConfig config_;
+  std::uint32_t sets_;
+  std::uint32_t lines_;       ///< sets * ways
+  std::uint32_t line_bytes_;
+};
+
+/// Per-(position, value) aggregated probe observations: the mean probe-miss
+/// count of every modulo set, conditioned on plaintext byte `pos` == value.
+/// Cells are integer sums, so merge() is exact and order-independent.
+class PrimeProbeProfile {
+ public:
+  static constexpr int kPositions = 16;
+  static constexpr int kValues = 256;
+
+  explicit PrimeProbeProfile(std::uint32_t sets);
+
+  /// Record one trial: the plaintext encrypted and the probe-miss vector
+  /// observed after it.
+  void add(const crypto::Block& plaintext,
+           std::span<const std::uint32_t> per_set_misses);
+
+  /// Fold another profile into this one.  Precondition: same set count.
+  void merge(const PrimeProbeProfile& other);
+
+  /// Mean probe-miss count in `set` over trials with plaintext[pos] == value
+  /// (0 when the cell received no trials).
+  [[nodiscard]] double cell_mean(int pos, int value, std::uint32_t set) const;
+
+  /// Mean probe-miss count in `set` over ALL trials, from position `pos`'s
+  /// marginal (every position sees every trial, so any position works).
+  [[nodiscard]] double set_mean(int pos, std::uint32_t set) const;
+
+  [[nodiscard]] std::uint64_t cell_count(int pos, int value) const {
+    return counts_[static_cast<std::size_t>(pos)]
+                  [static_cast<std::size_t>(value)];
+  }
+  [[nodiscard]] std::uint64_t samples() const { return total_trials_; }
+  [[nodiscard]] std::uint32_t sets() const { return sets_; }
+
+ private:
+  [[nodiscard]] std::size_t idx(int pos, int value, std::uint32_t set) const {
+    return (static_cast<std::size_t>(pos) * kValues +
+            static_cast<std::size_t>(value)) *
+               sets_ +
+           set;
+  }
+
+  std::uint32_t sets_;
+  std::vector<std::uint64_t> sums_;  ///< [pos][value][set] miss-count sums
+  std::array<std::array<std::uint64_t, kValues>, kPositions> counts_{};
+  std::uint64_t total_trials_ = 0;
+};
+
+/// One shard's worth of Prime+Probe measurements against the AES victim.
+struct PrimeProbeOutcome {
+  PrimeProbeProfile profile;
+  /// Leakage diagnostic: joint histogram of the victim's true round-1 table
+  /// line for byte 2 (the secret class; table 2's sets are the ones free of
+  /// code/key/stack pollution under the paper layout) against the trial's
+  /// EXCLUSION WITNESS - the lowest table-2 line whose modulo-predicted set
+  /// showed zero probe misses, or `classes` when every predicted set was
+  /// hot.  A cold set proves the victim did not touch that line, and the
+  /// true class's own set is never cold (round 1 touches it), so the
+  /// witness carries information exactly when the placement preserves the
+  /// attacker's set predictions.  Its mutual information quantifies the
+  /// per-trial channel independently of the key-ranking analysis.
+  stats::JointHistogram channel;
+
+  PrimeProbeOutcome(std::uint32_t sets, std::size_t line_classes);
+  void merge(const PrimeProbeOutcome& other);
+};
+
+/// Run `samples` prime -> encrypt -> probe trials on `machine`: the victim
+/// (`aes`'s key is the secret) encrypts one random block per trial under
+/// `victim`, the attacker primes/probes around it.  Plaintexts come from
+/// `pt_rng`.  aes.key() - the ground truth an evaluator has and an attacker
+/// does not - feeds only the channel diagnostic, never the profile.
+[[nodiscard]] PrimeProbeOutcome run_aes_prime_probe(
+    sim::Machine& machine, ProcId victim, ProcId attacker,
+    crypto::SimAes& aes, std::size_t samples, rng::Rng& pt_rng,
+    const PrimeProbeConfig& config);
+
+}  // namespace tsc::attack

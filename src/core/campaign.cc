@@ -11,25 +11,6 @@ crypto::Key random_key(rng::Rng& rng) {
   return key;
 }
 
-crypto::Block random_block(rng::Rng& rng) {
-  // One generator draw per block, bytes from a SplitMix-mixed word pair.
-  // Drawing each byte as the low bits of consecutive xorshift outputs leaves
-  // measurable inter-byte correlations, which the Bernstein profiles pick up
-  // as spurious structure shared by victim and attacker (their plaintext
-  // streams then carry the *same* joint bias even under different seeds).
-  crypto::Block blk{};
-  rng::SplitMix64 mix(rng.next_u64());
-  const std::uint64_t lo = mix.next_u64();
-  const std::uint64_t hi = mix.next_u64();
-  for (int i = 0; i < 8; ++i) {
-    blk[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(lo >> (8 * i));
-    blk[static_cast<std::size_t>(8 + i)] =
-        static_cast<std::uint8_t>(hi >> (8 * i));
-  }
-  return blk;
-}
-
 }  // namespace
 
 SideResult run_victim_side(SetupKind kind, const CampaignConfig& config,
@@ -109,7 +90,7 @@ SideResult run_victim_side(SetupKind kind, const CampaignConfig& config,
     m.set_process(kCryptoProc);
     m.run(noise_batch);
 
-    const crypto::Block pt = random_block(pt_rng);
+    const crypto::Block pt = crypto::random_block(pt_rng);
     (void)aes.encrypt(pt);
     if (j < config.warmup) continue;
     const auto duration = static_cast<double>(aes.last_duration());

@@ -1,0 +1,82 @@
+#include "core/policy.h"
+
+#include "rng/rng.h"
+
+namespace tsc::core {
+namespace {
+
+sim::HierarchyConfig config_for(PlacementPolicy policy) {
+  using cache::MapperKind;
+  using cache::ReplacementKind;
+  switch (policy) {
+    case PlacementPolicy::kModulo:
+      return sim::arm920t_config(MapperKind::kModulo, MapperKind::kModulo,
+                                 ReplacementKind::kLru);
+    case PlacementPolicy::kHashRp:
+      return sim::arm920t_config(MapperKind::kHashRp, MapperKind::kHashRp,
+                                 ReplacementKind::kRandom);
+    case PlacementPolicy::kRpCache:
+      return sim::arm920t_config(MapperKind::kRpCache, MapperKind::kRpCache,
+                                 ReplacementKind::kLru);
+    case PlacementPolicy::kRandomModulo:
+      // RM requires way size == page size, which only the L1s satisfy; the
+      // L2 runs hashRP, as in the paper's MBPTA/TSCache platforms.
+      return sim::arm920t_config(MapperKind::kRandomModulo,
+                                 MapperKind::kHashRp,
+                                 ReplacementKind::kRandom);
+  }
+  return sim::arm920t_config(cache::MapperKind::kModulo,
+                             cache::MapperKind::kModulo,
+                             cache::ReplacementKind::kLru);
+}
+
+}  // namespace
+
+std::string to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kModulo:
+      return "modulo";
+    case PlacementPolicy::kHashRp:
+      return "hashRP";
+    case PlacementPolicy::kRpCache:
+      return "RPCache";
+    case PlacementPolicy::kRandomModulo:
+      return "random-modulo";
+  }
+  return "?";
+}
+
+const std::vector<PlacementPolicy>& all_policies() {
+  static const std::vector<PlacementPolicy> policies{
+      PlacementPolicy::kModulo, PlacementPolicy::kHashRp,
+      PlacementPolicy::kRpCache, PlacementPolicy::kRandomModulo};
+  return policies;
+}
+
+std::unique_ptr<sim::Machine> build_policy_machine(
+    PlacementPolicy policy, std::uint64_t deployment_seed, bool partitioned) {
+  auto rng = std::make_shared<rng::XorShift64Star>(
+      rng::derive_seed(deployment_seed, 0xF00D));
+  auto machine =
+      std::make_unique<sim::Machine>(config_for(policy), std::move(rng));
+
+  // Per-process unique seeds, fixed for the run (every design's strongest
+  // non-reseeding configuration; modulo ignores them).
+  for (const ProcId proc : {kMatrixVictim, kMatrixAttacker}) {
+    machine->hierarchy().set_seed(
+        proc, Seed{rng::derive_seed(deployment_seed, 0xA7C0 + proc.value)});
+  }
+
+  if (partitioned) {
+    sim::Hierarchy& h = machine->hierarchy();
+    for (cache::Cache* level : {&h.l1d(), &h.l2()}) {
+      const std::uint32_t half = level->geometry().ways() / 2;
+      level->set_way_partition(kMatrixVictim, 0, half);
+      level->set_way_partition(kMatrixAttacker, half,
+                               level->geometry().ways() - half);
+    }
+  }
+  return machine;
+}
+
+}  // namespace tsc::core

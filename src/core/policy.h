@@ -1,0 +1,57 @@
+// The attack-matrix platform axis: one machine per placement POLICY.
+//
+// The paper's Setup (setup.h) bundles placement with the seed-management
+// story of its four processor designs.  The attack matrix needs the
+// orthogonal cut the related work evaluates ("Random and Safe Cache
+// Architecture", arXiv:2309.16172): the same platform and protocol under
+// each of the four placement policies - modulo, hashRP, RPCache,
+// random-modulo - with per-process unique seeds (the strongest
+// non-reseeding configuration of each design) and optionally way
+// partitioning layered on top.  This module builds those machines so the
+// experiment, the benches and the tests agree on what "the hashRP cell"
+// means.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/machine.h"
+
+namespace tsc::core {
+
+/// The four placement policies of the attack matrix.
+enum class PlacementPolicy { kModulo, kHashRp, kRpCache, kRandomModulo };
+
+[[nodiscard]] std::string to_string(PlacementPolicy policy);
+
+/// All four policies, in presentation order (deterministic baseline first).
+[[nodiscard]] const std::vector<PlacementPolicy>& all_policies();
+
+/// Processes of an attack-matrix cell.
+inline constexpr ProcId kMatrixVictim{1};
+inline constexpr ProcId kMatrixAttacker{2};
+
+/// Build the paper platform (ARM920T-like L1s + L2) for one policy:
+///  * kModulo        - modulo L1/L2, LRU (the deterministic baseline);
+///  * kHashRp        - hashRP L1/L2, random replacement;
+///  * kRpCache       - RPCache L1/L2 (per-process permutation tables plus
+///                     the secure contention rule), LRU;
+///  * kRandomModulo  - RM L1s + hashRP L2 (RM needs way size == page size,
+///                     which only the L1s satisfy), random replacement.
+///
+/// `deployment_seed` drives every random decision (machine RNG, per-process
+/// placement seeds), so a cell replays bit-identically from one integer.
+/// Victim and attacker get unique seeds derived from it; seeds stay fixed
+/// for the machine's lifetime (the strongest stable-layout configuration -
+/// reseeding policies are Setup's axis, not this one).
+///
+/// `partitioned` additionally splits L1D and L2 ways evenly between victim
+/// (lower half) and attacker (upper half) - the related-work isolation
+/// baseline the matrix compares the randomized policies against.
+[[nodiscard]] std::unique_ptr<sim::Machine> build_policy_machine(
+    PlacementPolicy policy, std::uint64_t deployment_seed, bool partitioned);
+
+}  // namespace tsc::core

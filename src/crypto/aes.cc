@@ -271,4 +271,17 @@ std::array<std::uint8_t, 16> first_round_indices(const Block& plaintext,
   return idx;
 }
 
+Block random_block(rng::Rng& rng) {
+  Block blk{};
+  rng::SplitMix64 mix(rng.next_u64());
+  const std::uint64_t lo = mix.next_u64();
+  const std::uint64_t hi = mix.next_u64();
+  for (int i = 0; i < 8; ++i) {
+    blk[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(lo >> (8 * i));
+    blk[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(hi >> (8 * i));
+  }
+  return blk;
+}
+
 }  // namespace tsc::crypto

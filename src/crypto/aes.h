@@ -18,6 +18,8 @@
 #include <array>
 #include <cstdint>
 
+#include "rng/rng.h"
+
 namespace tsc::crypto {
 
 using Block = std::array<std::uint8_t, 16>;
@@ -58,5 +60,13 @@ struct Ttables {
 /// lines these indices touch.
 [[nodiscard]] std::array<std::uint8_t, 16> first_round_indices(
     const Block& plaintext, const Key& key);
+
+/// Random plaintext block for attack campaigns: ONE generator draw, bytes
+/// from a SplitMix-mixed word pair.  Drawing each byte as the low bits of
+/// consecutive xorshift outputs leaves measurable inter-byte correlations,
+/// which timing profiles pick up as spurious structure shared by victim and
+/// attacker (their plaintext streams then carry the *same* joint bias even
+/// under different seeds) - every campaign must use this one construction.
+[[nodiscard]] Block random_block(rng::Rng& rng);
 
 }  // namespace tsc::crypto

@@ -8,14 +8,20 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "attack/contention.h"
+#include "attack/evicttime.h"
+#include "attack/metrics.h"
+#include "attack/primeprobe.h"
 #include "cache/placement.h"
 #include "core/campaign.h"
+#include "core/policy.h"
 #include "core/setup.h"
+#include "crypto/sim_aes.h"
 #include "isa/interpreter.h"
 #include "isa/kernels.h"
 #include "mbpta/analysis.h"
@@ -651,6 +657,171 @@ Json run_ablation_partitioning(const RunOptions& options) {
   return j;
 }
 
+// --- attack_matrix: eviction attacks x placement policy x partitioning -----
+
+/// One platform cell of the matrix.
+struct MatrixCell {
+  core::PlacementPolicy policy;
+  bool partitioned;
+};
+
+std::vector<MatrixCell> matrix_cells() {
+  std::vector<MatrixCell> cells;
+  for (const core::PlacementPolicy policy : core::all_policies()) {
+    for (const bool partitioned : {false, true}) {
+      cells.push_back({policy, partitioned});
+    }
+  }
+  return cells;
+}
+
+/// Deployment seed of cell `index`: every shard of the cell shares it (the
+/// layouts, tables and machine RNG are deployment state), so the shard
+/// decomposition never changes what is being attacked.
+std::uint64_t matrix_cell_seed(std::uint64_t master_seed, std::size_t index) {
+  return rng::derive_seed(master_seed, 0x3A70 + index);
+}
+
+/// The fixed shard decomposition of one cell's sample budget.  A zero
+/// shard size is clamped to 1, as the campaign engine's plan_shards does.
+std::vector<std::size_t> matrix_shards(std::size_t samples,
+                                       std::size_t shard_size) {
+  shard_size = std::max<std::size_t>(1, shard_size);
+  std::vector<std::size_t> out;
+  for (std::size_t start = 0; start < samples; start += shard_size) {
+    out.push_back(std::min(shard_size, samples - start));
+  }
+  if (out.empty()) out.push_back(samples);
+  return out;
+}
+
+Json ranking_json(const attack::MatrixRanking& ranking,
+                  const stats::JointHistogram& channel) {
+  Json ranks = Json::array();
+  for (int pos = 0; pos < 16; ++pos) {
+    ranks.push(ranking.bytes[static_cast<std::size_t>(pos)].true_rank);
+  }
+  Json j = Json::object();
+  j.set("mean_true_rank", ranking.mean_true_rank())
+      .set("best_true_rank", ranking.best_true_rank())
+      .set("line_resolved_bytes", ranking.line_resolved_bytes())
+      .set("byte_true_ranks", std::move(ranks))
+      .set("channel_mi_bits", channel.mi_bits())
+      .set("channel_mi_bits_corrected", channel.mi_bits_corrected())
+      .set("secret_entropy_bits", channel.x_entropy_bits());
+  return j;
+}
+
+Json run_attack_matrix(const RunOptions& options) {
+  const std::size_t samples = options.resolve_samples(20'000);
+  const std::size_t shard_size = std::max<std::size_t>(1, options.shard_size);
+  const std::vector<MatrixCell> cells = matrix_cells();
+  const std::vector<std::size_t> shards = matrix_shards(samples, shard_size);
+  const std::size_t n_shards = shards.size();
+
+  // The same ground-truth key the Bernstein experiments attack.  Both
+  // attacks are prediction-based (no attacker-side calibration deployment),
+  // so the key enters scoring only as the rank oracle.
+  const crypto::Key victim_key =
+      core::campaign_victim_key(options.master_seed);
+  const crypto::SimAesLayout layout{};
+  const cache::Geometry l1 = cache::l1_geometry_arm920t();
+
+  ThreadPool pool(options.workers);
+
+  // One task per (attack, cell, shard), all in a single parallel_map so
+  // the two attacks' sessions overlap instead of running as two barriers.
+  // Each task is a pure function of (master seed, attack, cell, shard):
+  // fresh machine, the cell's deployment seed, the shard's plaintext
+  // stream - so the fan-out order cannot affect results.  Evict+Time
+  // additionally threads the shard's global window start (trial_offset) so
+  // the whole-cache eviction sweep replays as one continuous campaign.
+  struct TaskResult {
+    std::optional<attack::PrimeProbeOutcome> pp;
+    std::optional<attack::EvictTimeOutcome> et;
+  };
+  const std::size_t per_attack = cells.size() * n_shards;
+  std::vector<TaskResult> parts =
+      parallel_map(pool, 2 * per_attack, [&](std::size_t task) {
+        const bool prime_probe = task % 2 == 0;
+        const std::size_t cell_index = (task / 2) / n_shards;
+        const std::size_t shard = (task / 2) % n_shards;
+        const MatrixCell& cell = cells[cell_index];
+        const std::uint64_t cell_seed =
+            matrix_cell_seed(options.master_seed, cell_index);
+        const auto machine = core::build_policy_machine(
+            cell.policy, cell_seed, cell.partitioned);
+        crypto::SimAes aes(*machine, layout, victim_key);
+        TaskResult result;
+        if (prime_probe) {
+          rng::XorShift64Star pt_rng(
+              rng::derive_seed(cell_seed, 0x9700 + shard));
+          result.pp = attack::run_aes_prime_probe(
+              *machine, core::kMatrixVictim, core::kMatrixAttacker, aes,
+              shards[shard], pt_rng, attack::PrimeProbeConfig{});
+        } else {
+          rng::XorShift64Star pt_rng(
+              rng::derive_seed(cell_seed, 0xE7000 + shard));
+          result.et = attack::run_aes_evict_time(
+              *machine, core::kMatrixVictim, core::kMatrixAttacker, aes,
+              shards[shard], /*trial_offset=*/shard * shard_size, pt_rng,
+              attack::EvictTimeConfig{});
+        }
+        return result;
+      });
+
+  // Merge in (cell, shard) order - exact integer sums, so the result is
+  // identical for every worker count - then score each cell once.
+  Json rows = Json::array();
+  std::vector<double> pp_unpartitioned_rank;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    attack::PrimeProbeOutcome pp = *parts[2 * c * n_shards].pp;
+    attack::EvictTimeOutcome et = *parts[2 * c * n_shards + 1].et;
+    for (std::size_t s = 1; s < n_shards; ++s) {
+      pp.merge(*parts[2 * (c * n_shards + s)].pp);
+      et.merge(*parts[2 * (c * n_shards + s) + 1].et);
+    }
+
+    const attack::MatrixRanking pp_rank = attack::score_prime_probe(
+        pp.profile, l1, layout.tables, victim_key);
+    const attack::MatrixRanking et_rank = attack::score_evict_time(
+        et.profile, l1, layout.tables, victim_key);
+    if (!cells[c].partitioned) {
+      pp_unpartitioned_rank.push_back(pp_rank.mean_true_rank());
+    }
+
+    Json row = Json::object();
+    row.set("policy", core::to_string(cells[c].policy))
+        .set("partitioned", cells[c].partitioned)
+        .set("samples", pp.profile.samples())
+        .set("prime_probe", ranking_json(pp_rank, pp.channel))
+        .set("evict_time", ranking_json(et_rank, et.channel));
+    rows.push(std::move(row));
+  }
+
+  // Headline ordering: Prime+Probe mean true rank, unpartitioned cells.
+  // The paper's qualitative claim is modulo leaks (low rank) while the
+  // randomized policies degrade the channel towards chance (127.5).
+  Json ordering = Json::object();
+  bool modulo_strictly_best = true;
+  for (std::size_t p = 0; p < core::all_policies().size(); ++p) {
+    ordering.set(core::to_string(core::all_policies()[p]),
+                 pp_unpartitioned_rank[p]);
+    if (p > 0 && pp_unpartitioned_rank[p] <= pp_unpartitioned_rank[0]) {
+      modulo_strictly_best = false;
+    }
+  }
+
+  Json j = Json::object();
+  j.set("samples_per_cell", samples)
+      .set("shards_per_cell", n_shards)
+      .set("chance_mean_rank", 127.5)
+      .set("prime_probe_mean_rank_by_policy", std::move(ordering))
+      .set("modulo_strictly_most_leaky", modulo_strictly_best)
+      .set("cells", std::move(rows));
+  return j;
+}
+
 }  // namespace
 
 const std::vector<Experiment>& all_experiments() {
@@ -674,6 +845,9 @@ const std::vector<Experiment>& all_experiments() {
        run_ablation_seedpolicy},
       {"ablation_partitioning", "way-partitioning vs TSCache (section 7)",
        run_ablation_partitioning},
+      {"attack_matrix",
+       "Prime+Probe / Evict+Time vs all placement policies x partitioning",
+       run_attack_matrix},
   };
   return experiments;
 }

@@ -1,0 +1,96 @@
+#include "stats/mi.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsc::stats {
+
+JointHistogram::JointHistogram(std::size_t x_classes, std::size_t y_bins)
+    : x_classes_(x_classes), y_bins_(y_bins), counts_(x_classes * y_bins, 0) {
+  assert(x_classes >= 1);
+  assert(y_bins >= 1);
+}
+
+void JointHistogram::add(std::size_t x, std::size_t y, std::uint64_t n) {
+  assert(x < x_classes_);
+  assert(y < y_bins_);
+  counts_[x * y_bins_ + y] += n;
+  total_ += n;
+}
+
+void JointHistogram::merge(const JointHistogram& other) {
+  assert(other.x_classes_ == x_classes_);
+  assert(other.y_bins_ == y_bins_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double JointHistogram::mi_bits() const {
+  if (total_ == 0) return 0.0;
+  std::vector<std::uint64_t> px(x_classes_, 0);
+  std::vector<std::uint64_t> py(y_bins_, 0);
+  for (std::size_t x = 0; x < x_classes_; ++x) {
+    for (std::size_t y = 0; y < y_bins_; ++y) {
+      const std::uint64_t c = counts_[x * y_bins_ + y];
+      px[x] += c;
+      py[y] += c;
+    }
+  }
+  const double n = static_cast<double>(total_);
+  double mi = 0.0;
+  for (std::size_t x = 0; x < x_classes_; ++x) {
+    if (px[x] == 0) continue;
+    for (std::size_t y = 0; y < y_bins_; ++y) {
+      const std::uint64_t c = counts_[x * y_bins_ + y];
+      if (c == 0 || py[y] == 0) continue;
+      const double pxy = static_cast<double>(c) / n;
+      const double ratio = (static_cast<double>(c) * n) /
+                           (static_cast<double>(px[x]) *
+                            static_cast<double>(py[y]));
+      mi += pxy * std::log2(ratio);
+    }
+  }
+  return mi;
+}
+
+double JointHistogram::mi_bits_corrected() const {
+  if (total_ == 0) return 0.0;
+  std::vector<bool> seen_x(x_classes_, false);
+  std::vector<bool> seen_y(y_bins_, false);
+  for (std::size_t x = 0; x < x_classes_; ++x) {
+    for (std::size_t y = 0; y < y_bins_; ++y) {
+      if (counts_[x * y_bins_ + y] != 0) {
+        seen_x[x] = true;
+        seen_y[y] = true;
+      }
+    }
+  }
+  std::size_t occ_x = 0;
+  std::size_t occ_y = 0;
+  for (std::size_t x = 0; x < x_classes_; ++x) occ_x += seen_x[x] ? 1 : 0;
+  for (std::size_t y = 0; y < y_bins_; ++y) occ_y += seen_y[y] ? 1 : 0;
+  if (occ_x == 0 || occ_y == 0) return 0.0;
+  const double bias =
+      static_cast<double>(occ_x - 1) * static_cast<double>(occ_y - 1) /
+      (2.0 * static_cast<double>(total_) * std::log(2.0));
+  const double corrected = mi_bits() - bias;
+  return corrected > 0.0 ? corrected : 0.0;
+}
+
+double JointHistogram::x_entropy_bits() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  double h = 0.0;
+  for (std::size_t x = 0; x < x_classes_; ++x) {
+    std::uint64_t c = 0;
+    for (std::size_t y = 0; y < y_bins_; ++y) c += counts_[x * y_bins_ + y];
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace tsc::stats

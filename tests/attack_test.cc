@@ -229,5 +229,62 @@ TEST(TimingProfileTest, MergeEmptyIsIdentity) {
   EXPECT_EQ(empty.global_mean(), before);
 }
 
+// The sharded campaign merge can legitimately fold empty and one-sample
+// profiles (a cell's last shard at tiny --samples, smoke runs with
+// --samples 1): the edge cases must behave exactly like sequential
+// accumulation, and empty profiles must stay well-defined throughout.
+TEST(TimingProfileTest, MergeOfTwoEmptiesStaysEmptyAndFinite) {
+  TimingProfile a;
+  a.merge(TimingProfile{});
+  EXPECT_EQ(a.samples(), 0u);
+  EXPECT_DOUBLE_EQ(a.global_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.cell_mean(0, 0), 0.0)
+      << "empty cells report the (zero) global mean, never NaN";
+  EXPECT_DOUBLE_EQ(a.deviation(3, 200), 0.0);
+  EXPECT_EQ(a.cell_count(3, 200), 0u);
+}
+
+TEST(TimingProfileTest, MergeOfSingletonsMatchesSequentialBitExactly) {
+  rng::XorShift64Star g(8);
+  const crypto::Block blk_a = random_block(g);
+  const crypto::Block blk_b = random_block(g);
+
+  TimingProfile whole;
+  whole.add(blk_a, 1001.0);
+  whole.add(blk_b, 1003.0);
+
+  TimingProfile lhs;
+  lhs.add(blk_a, 1001.0);
+  TimingProfile rhs;
+  rhs.add(blk_b, 1003.0);
+  lhs.merge(rhs);
+
+  EXPECT_EQ(lhs.samples(), whole.samples());
+  EXPECT_EQ(lhs.global_mean(), whole.global_mean());
+  for (int pos = 0; pos < TimingProfile::kPositions; ++pos) {
+    for (int v = 0; v < TimingProfile::kValues; ++v) {
+      ASSERT_EQ(lhs.cell_count(pos, v), whole.cell_count(pos, v));
+      ASSERT_EQ(lhs.cell_mean(pos, v), whole.cell_mean(pos, v));
+      ASSERT_EQ(lhs.deviation(pos, v), whole.deviation(pos, v));
+    }
+  }
+}
+
+TEST(TimingProfileTest, SingletonMergedIntoEmptyEqualsSingleton) {
+  rng::XorShift64Star g(9);
+  const crypto::Block blk = random_block(g);
+  TimingProfile single;
+  single.add(blk, 777.0);
+
+  TimingProfile accumulated;          // the sharded merge's running target
+  accumulated.merge(TimingProfile{});  // an empty shard first
+  accumulated.merge(single);           // then the singleton shard
+  EXPECT_EQ(accumulated.samples(), 1u);
+  EXPECT_EQ(accumulated.global_mean(), 777.0);
+  EXPECT_EQ(accumulated.cell_mean(0, blk[0]), 777.0);
+  EXPECT_EQ(accumulated.deviation(0, blk[0]), 0.0)
+      << "one sample: every occupied cell sits at the global mean";
+}
+
 }  // namespace
 }  // namespace tsc::attack

@@ -1,4 +1,4 @@
-// Golden bit-identity test for the hot-path overhaul.
+// Golden bit-identity tests.
 //
 // tests/golden/fig5_s3000_ss1000.json is the fig5 campaign JSON produced by
 // the PRE-refactor implementation (virtual mapper dispatch, hash-map seeds,
@@ -7,12 +7,21 @@
 // replacement decisions, RNG draw order, timing accounting and JSON
 // serialization all have to be exactly preserved.
 //
-// If an intentional semantic change ever invalidates the fixture, regenerate
+// tests/golden/attack_matrix_s1200_ss400.json pins the attack-matrix
+// experiment the same way: the (cell, shard) decomposition, the exact
+// integer profile merges and the scoring must yield byte-identical JSON for
+// every --shards worker count, and the fixture's headline ordering (modulo
+// strictly the most leaky under Prime+Probe) is part of the contract.
+//
+// If an intentional semantic change ever invalidates a fixture, regenerate
 // it with:
-//   tsc_run --experiment fig5 --samples 3000 --shard-size 1000 --json \
+//   tsc_run --experiment fig5 --samples 3000 --shard-size 1000 --json
 //       > tests/golden/fig5_s3000_ss1000.json
-// and say so loudly in the commit message - this file is the contract that
-// performance work does not move simulation results.
+//   tsc_run --experiment attack_matrix --samples 1200 --shard-size 400 --json
+//       > tests/golden/attack_matrix_s1200_ss400.json
+// (each command on one line) and say so loudly in the commit message - this
+// file is the contract that performance work does not move simulation
+// results.
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -37,21 +46,30 @@ std::string read_fixture(const std::string& relative) {
   return buf.str();
 }
 
-/// Render the experiment exactly as `tsc_run --json` does (compact dump plus
+/// Render an experiment exactly as `tsc_run --json` does (compact dump plus
 /// trailing newline), so the fixture can be regenerated with the CLI.
-std::string run_fig5_json(unsigned workers) {
-  const Experiment* fig5 = find_experiment("fig5");
-  EXPECT_NE(fig5, nullptr);
+std::string run_experiment_json(const std::string& name, std::size_t samples,
+                                std::size_t shard_size, unsigned workers) {
+  const Experiment* experiment = find_experiment(name);
+  EXPECT_NE(experiment, nullptr);
   RunOptions options;
-  options.samples = 3000;
-  options.shard_size = 1000;
+  options.samples = samples;
+  options.shard_size = shard_size;
   options.workers = workers;
   Json doc = Json::object();
-  doc.set("experiment", fig5->name)
-      .set("description", fig5->description)
+  doc.set("experiment", experiment->name)
+      .set("description", experiment->description)
       .set("seed", options.master_seed)
-      .set("results", fig5->run(options));
+      .set("results", experiment->run(options));
   return doc.dump(-1) + "\n";
+}
+
+std::string run_fig5_json(unsigned workers) {
+  return run_experiment_json("fig5", 3000, 1000, workers);
+}
+
+std::string run_attack_matrix_json(unsigned workers) {
+  return run_experiment_json("attack_matrix", 1200, 400, workers);
 }
 
 TEST(GoldenFig5, MatchesPreRefactorOutputByteForByte) {
@@ -66,6 +84,26 @@ TEST(GoldenFig5, WorkerCountDoesNotChangeOutput) {
   ASSERT_FALSE(expected.empty());
   EXPECT_EQ(run_fig5_json(/*workers=*/5), expected)
       << "sharded campaign output must be worker-count invariant";
+}
+
+TEST(GoldenAttackMatrix, MatchesCommittedFixtureByteForByte) {
+  const std::string expected =
+      read_fixture("tests/golden/attack_matrix_s1200_ss400.json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(run_attack_matrix_json(/*workers=*/2), expected)
+      << "attack_matrix diverged from the committed fixture";
+  // The fixture itself must certify the paper's qualitative ordering.
+  EXPECT_NE(expected.find("\"modulo_strictly_most_leaky\":true"),
+            std::string::npos)
+      << "fixture lost the modulo-most-leaky ordering";
+}
+
+TEST(GoldenAttackMatrix, WorkerCountDoesNotChangeOutput) {
+  const std::string expected =
+      read_fixture("tests/golden/attack_matrix_s1200_ss400.json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(run_attack_matrix_json(/*workers=*/5), expected)
+      << "attack_matrix output must be worker-count invariant";
 }
 
 }  // namespace

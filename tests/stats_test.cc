@@ -9,6 +9,7 @@
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
 #include "stats/histogram.h"
+#include "stats/mi.h"
 #include "stats/special.h"
 #include "stats/tests.h"
 
@@ -327,6 +328,72 @@ TEST(DescriptiveAccumulator, NearConstantVarianceClampedAtZero) {
   for (int i = 0; i < 100; ++i) acc.add(1e9 + 0.0);
   EXPECT_GE(acc.variance(), 0.0);
   EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+// --- binned mutual information ----------------------------------------------
+
+TEST(JointHistogramTest, DeterministicChannelYieldsFullEntropy) {
+  // y = x: MI equals the X entropy, here log2(8) = 3 bits exactly.
+  JointHistogram h(8, 8);
+  for (std::size_t x = 0; x < 8; ++x) h.add(x, x, 10'000);
+  EXPECT_NEAR(h.mi_bits(), 3.0, 1e-12);
+  EXPECT_NEAR(h.x_entropy_bits(), 3.0, 1e-12);
+  // Miller-Madow subtracts (8-1)(8-1)/(2 N ln 2) = 0.0004 bits here.
+  EXPECT_NEAR(h.mi_bits_corrected(), 3.0, 0.001);
+}
+
+TEST(JointHistogramTest, IndependentChannelHasNearZeroCorrectedMi) {
+  JointHistogram h(16, 8);
+  rng::XorShift64Star g(41);
+  for (int i = 0; i < 40'000; ++i) {
+    h.add(g.next_below(16), g.next_below(8));
+  }
+  // Raw plug-in MI is positive by construction (finite-sample bias ~
+  // (15*7)/(2 N ln 2) = 0.0019 bits); the Miller-Madow correction must
+  // cancel it to noise level.
+  EXPECT_GT(h.mi_bits(), 0.0);
+  EXPECT_LT(h.mi_bits(), 0.01);
+  EXPECT_LT(h.mi_bits_corrected(), 0.003);
+}
+
+TEST(JointHistogramTest, MiNeverExceedsSecretEntropy) {
+  JointHistogram h(4, 32);
+  rng::XorShift64Star g(43);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t x = g.next_below(4);
+    h.add(x, (x * 8 + g.next_below(8)));  // noisy but x-revealing channel
+  }
+  EXPECT_LE(h.mi_bits(), h.x_entropy_bits() + 1e-12);
+  EXPECT_GT(h.mi_bits_corrected(), 1.5) << "channel clearly reveals x";
+}
+
+TEST(JointHistogramTest, MergeMatchesSequentialCountsExactly) {
+  JointHistogram whole(6, 5);
+  JointHistogram a(6, 5);
+  JointHistogram b(6, 5);
+  rng::XorShift64Star g(44);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t x = g.next_below(6);
+    const std::uint64_t y = g.next_below(5);
+    whole.add(x, y);
+    (i % 3 == 0 ? a : b).add(x, y);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.samples(), whole.samples());
+  for (std::size_t x = 0; x < 6; ++x) {
+    for (std::size_t y = 0; y < 5; ++y) {
+      ASSERT_EQ(a.cell(x, y), whole.cell(x, y));
+    }
+  }
+  EXPECT_EQ(a.mi_bits(), whole.mi_bits()) << "same counts, same estimate";
+}
+
+TEST(JointHistogramTest, EmptyHistogramIsAllZeros) {
+  const JointHistogram h(3, 3);
+  EXPECT_EQ(h.samples(), 0u);
+  EXPECT_DOUBLE_EQ(h.mi_bits(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mi_bits_corrected(), 0.0);
+  EXPECT_DOUBLE_EQ(h.x_entropy_bits(), 0.0);
 }
 
 }  // namespace
