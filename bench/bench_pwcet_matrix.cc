@@ -1,0 +1,15 @@
+// pWCET matrix: MBPTA (i.i.d. gate, Gumbel + GPD-POT tails, fit quality,
+// convergence curves) for every ISA kernel x placement policy x
+// partitioning cell, joined with a Prime+Probe leakage campaign into the
+// security/predictability tradeoff table.
+//
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "pwcet_matrix" and shared with the tsc_run
+// driver, so `bench_pwcet_matrix [--samples N] [--shards N] [--json]` and
+// `tsc_run --experiment pwcet_matrix ...` are the same experiment.  Output
+// is a JSON document that is bit-identical for every --shards value.
+#include "runner/experiment.h"
+
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("pwcet_matrix", argc, argv);
+}

@@ -46,6 +46,10 @@ std::string to_string(PlacementPolicy policy) {
   return "?";
 }
 
+bool randomized(PlacementPolicy policy) {
+  return policy != PlacementPolicy::kModulo;
+}
+
 const std::vector<PlacementPolicy>& all_policies() {
   static const std::vector<PlacementPolicy> policies{
       PlacementPolicy::kModulo, PlacementPolicy::kHashRp,

@@ -27,6 +27,11 @@ enum class PlacementPolicy { kModulo, kHashRp, kRpCache, kRandomModulo };
 
 [[nodiscard]] std::string to_string(PlacementPolicy policy);
 
+/// True for the seed-randomized placements (everything but modulo) - the
+/// policies the paper expects to both blunt contention attacks and make
+/// execution times MBPTA-analyzable.
+[[nodiscard]] bool randomized(PlacementPolicy policy);
+
 /// All four policies, in presentation order (deterministic baseline first).
 [[nodiscard]] const std::vector<PlacementPolicy>& all_policies();
 

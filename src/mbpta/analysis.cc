@@ -1,10 +1,31 @@
 #include "mbpta/analysis.h"
 
-#include <cassert>
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
 namespace tsc::mbpta {
+namespace {
+
+void validate_config(const AnalysisConfig& config) {
+  if (config.min_runs < 100) {
+    throw std::invalid_argument(
+        "AnalysisConfig.min_runs must be >= 100 (the PwcetModel floor), got " +
+        std::to_string(config.min_runs));
+  }
+  if (config.lags < 1) {
+    throw std::invalid_argument("AnalysisConfig.lags must be >= 1");
+  }
+  if (!(config.alpha > 0 && config.alpha < 1)) {
+    throw std::invalid_argument("AnalysisConfig.alpha must be in (0, 1)");
+  }
+  if (config.block == 0) {
+    throw std::invalid_argument("AnalysisConfig.block must be >= 1");
+  }
+}
+
+}  // namespace
 
 double AnalysisReport::pwcet(double exceedance_prob) const {
   if (!model.has_value()) {
@@ -24,6 +45,7 @@ std::vector<stats::PwcetPoint> AnalysisReport::curve(double min_prob) const {
 
 AnalysisReport analyze(std::span<const double> execution_times,
                        const AnalysisConfig& config) {
+  validate_config(config);
   if (execution_times.size() < config.min_runs) {
     throw std::invalid_argument(
         "MBPTA needs at least " + std::to_string(config.min_runs) +
@@ -41,8 +63,54 @@ AnalysisReport analyze(std::span<const double> execution_times,
   // model is worse than being explicit, so we fit only on real variance.
   if (report.iid.passed(config.alpha) && report.sample.stddev > 0) {
     report.model.emplace(execution_times, config.tail, config.block);
+    report.gof = stats::gof_pwcet_fit(execution_times, *report.model);
   }
   return report;
+}
+
+ConvergenceCurve pwcet_convergence(std::span<const double> execution_times,
+                                   const AnalysisConfig& config,
+                                   double target_prob,
+                                   std::size_t grid_points,
+                                   double tolerance) {
+  validate_config(config);
+  if (execution_times.size() < 100) {
+    throw std::invalid_argument(
+        "pwcet_convergence needs at least 100 runs, got " +
+        std::to_string(execution_times.size()));
+  }
+  if (grid_points < 2) {
+    throw std::invalid_argument("pwcet_convergence: grid_points must be >= 2");
+  }
+
+  ConvergenceCurve curve;
+  curve.target_prob = target_prob;
+  curve.tolerance = tolerance;
+
+  const std::size_t n = execution_times.size();
+  const std::size_t start = std::max<std::size_t>(100, n / 2);
+  std::size_t previous = 0;
+  for (std::size_t k = 0; k < grid_points; ++k) {
+    const std::size_t size =
+        start + (n - start) * k / (grid_points - 1);
+    if (size == previous) continue;  // dedup for tiny samples
+    previous = size;
+    const stats::PwcetModel model(execution_times.first(size), config.tail,
+                                  config.block);
+    curve.points.push_back({size, model.pwcet(target_prob)});
+  }
+
+  if (curve.points.size() >= 3) {
+    const double final_bound = curve.points.back().bound;
+    bool stable = final_bound > 0 && std::isfinite(final_bound);
+    for (std::size_t i = curve.points.size() - 3; i < curve.points.size();
+         ++i) {
+      stable = stable && std::fabs(curve.points[i].bound - final_bound) <=
+                             tolerance * final_bound;
+    }
+    curve.converged = stable;
+  }
+  return curve;
 }
 
 std::string render_report(const AnalysisReport& report) {
@@ -66,6 +134,13 @@ std::string render_report(const AnalysisReport& report) {
   if (!report.mbpta_applicable()) {
     out += "MBPTA: NOT APPLICABLE (hypothesis tests failed)\n";
     return out;
+  }
+  if (report.gof && report.gof->defined) {
+    std::snprintf(line, sizeof line,
+                  "tail fit (Cramér-von Mises): W2=%.4f p~%.4f  QQ r2=%.4f\n",
+                  report.gof->cvm_statistic, report.gof->cvm_p_value,
+                  report.gof->qq_r2);
+    out += line;
   }
   out += "MBPTA: applicable; pWCET (exceedance -> bound):\n";
   for (const auto& pt : report.curve(1e-12)) {

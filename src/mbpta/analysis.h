@@ -15,14 +15,18 @@
 
 #include "stats/descriptive.h"
 #include "stats/evt.h"
+#include "stats/gof.h"
 #include "stats/tests.h"
 
 namespace tsc::mbpta {
 
 /// Analysis parameters (defaults follow the paper: Ljung-Box over 20 lags,
-/// KS two-sample, alpha = 0.05).
+/// KS two-sample, alpha = 0.05).  analyze() validates the configuration and
+/// throws std::invalid_argument on nonsense (min_runs < 100 - the
+/// PwcetModel floor - lags < 1, alpha outside (0, 1), block == 0), so a
+/// misconfigured campaign fails loudly in Release builds too.
 struct AnalysisConfig {
-  std::size_t min_runs = 300;   ///< below this, refuse to analyze
+  std::size_t min_runs = 300;   ///< below this, refuse to analyze (>= 100)
   std::size_t lags = 20;        ///< Ljung-Box lags
   double alpha = 0.05;          ///< significance level for both i.i.d. tests
   stats::TailModel tail = stats::TailModel::kGpdPot;
@@ -36,6 +40,9 @@ struct AnalysisReport {
   stats::IidVerdict iid;       ///< Ljung-Box + KS verdicts
   double alpha = 0.05;
   std::optional<stats::PwcetModel> model;  ///< present iff i.i.d. passed
+  /// Fit-quality diagnostics of the fitted tail (present iff model is):
+  /// Cramér-von Mises + Q-Q, stats/gof.h.
+  std::optional<stats::GofResult> gof;
 
   /// True when the sample passed both hypothesis tests and a tail model was
   /// fitted - i.e. MBPTA may be applied to this platform/task combination.
@@ -54,6 +61,41 @@ struct AnalysisReport {
 /// Run the workflow on a sample of per-run execution times (cycles).
 [[nodiscard]] AnalysisReport analyze(std::span<const double> execution_times,
                                      const AnalysisConfig& config = {});
+
+/// One point of a pWCET-convergence curve: the bound refitted on the first
+/// `runs` samples.
+struct ConvergencePoint {
+  std::size_t runs = 0;
+  double bound = 0;
+};
+
+/// MBPTA-CV-style convergence assessment of the pWCET bound: EVT numbers
+/// are only trustworthy once adding measurements stops moving the bound, so
+/// the tail is refitted on a grid of growing sample prefixes and the curve
+/// of bounds at `target_prob` is inspected for stability.  "Applicable"
+/// should mean STABLE, not "passed two hypothesis tests once".
+struct ConvergenceCurve {
+  double target_prob = 1e-10;  ///< exceedance probability of the bound
+  double tolerance = 0.05;     ///< relative stability band
+  std::vector<ConvergencePoint> points;  ///< increasing prefix sizes
+  /// True when the last three grid points all sit within `tolerance`
+  /// (relative) of the final bound; always false with fewer than 3 points.
+  bool converged = false;
+
+  [[nodiscard]] double final_bound() const {
+    return points.empty() ? 0.0 : points.back().bound;
+  }
+};
+
+/// Compute the convergence curve: `grid_points` prefixes linearly spaced
+/// from max(100, n/2) to n = execution_times.size(), each refitted with
+/// config.tail / config.block (the i.i.d. gate is the caller's job; run it
+/// once on the full sample).  Throws std::invalid_argument when the sample
+/// is shorter than 100 runs or grid_points < 2.
+[[nodiscard]] ConvergenceCurve pwcet_convergence(
+    std::span<const double> execution_times, const AnalysisConfig& config,
+    double target_prob = 1e-10, std::size_t grid_points = 6,
+    double tolerance = 0.05);
 
 /// Human-readable report (for examples and experiment logs).
 [[nodiscard]] std::string render_report(const AnalysisReport& report);

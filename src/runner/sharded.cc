@@ -77,6 +77,39 @@ MergedSide run_sharded_victim(core::SetupKind kind,
   return merge_sides(std::move(results), key);
 }
 
+std::vector<double> run_sharded_times(
+    std::size_t runs, std::size_t shard_size, unsigned workers,
+    const std::function<double(std::size_t)>& measure) {
+  // Unlike campaign shards, slices here carry no semantics: measure() is a
+  // pure function of the run index, so the merged vector is identical for
+  // EVERY decomposition.  Slicing is therefore a pure throughput choice -
+  // honour shard_size as an upper bound, but cut at least ~4 slices per
+  // worker so a few hundred MBPTA runs still fan out across the pool
+  // instead of landing in one 25k-sized campaign-default shard.
+  const unsigned pool_width = workers ? workers : ThreadPool::default_threads();
+  const std::size_t per_slice = std::max<std::size_t>(
+      1, runs / (4 * static_cast<std::size_t>(pool_width)));
+  const std::size_t size =
+      std::max<std::size_t>(1, std::min(shard_size, per_slice));
+  const std::size_t count = std::max<std::size_t>(1, (runs + size - 1) / size);
+  ThreadPool pool(workers);
+  std::vector<std::vector<double>> parts =
+      parallel_map(pool, count, [&](std::size_t shard) {
+        const std::size_t begin = shard * size;
+        const std::size_t end = std::min(runs, begin + size);
+        std::vector<double> out;
+        out.reserve(end - begin);
+        for (std::size_t r = begin; r < end; ++r) out.push_back(measure(r));
+        return out;
+      });
+  std::vector<double> merged;
+  merged.reserve(runs);
+  for (const std::vector<double>& part : parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  return merged;
+}
+
 ShardedCampaignResult run_sharded_bernstein(core::SetupKind kind,
                                             const ShardedConfig& config) {
   const std::vector<core::CampaignConfig> shards =

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "attack/bernstein.h"
@@ -97,5 +98,17 @@ struct ShardedCampaignResult {
                                             const ShardedConfig& config,
                                             std::uint64_t party_tag,
                                             const crypto::Key& key);
+
+/// Sharded per-run execution-time collection for MBPTA-style protocols
+/// (fig1 and sec622 sample through this): run indices [0, runs) are cut
+/// into slices of at most `shard_size` runs (smaller slices are chosen
+/// automatically when needed to keep all `workers` busy), the slices
+/// execute concurrently, and the merged sample is the run-index-ordered
+/// concatenation.  `measure` must be a pure function of the run index
+/// (each run builds its own fresh-seeded machine), so the merged vector is
+/// bit-identical for any shard size and worker count.
+[[nodiscard]] std::vector<double> run_sharded_times(
+    std::size_t runs, std::size_t shard_size, unsigned workers,
+    const std::function<double(std::size_t)>& measure);
 
 }  // namespace tsc::runner

@@ -1,9 +1,10 @@
 #include "stats/evt.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
+#include <string>
 
 #include "stats/descriptive.h"
 
@@ -30,22 +31,40 @@ double run_to_block_exceedance(double p_run, std::size_t block) {
 }  // namespace
 
 double GumbelFit::exceedance(double x) const {
+  if (degenerate()) return x < mu ? 1.0 : 0.0;  // unit step at the mass point
   const double z = (x - mu) / beta;
   // 1 - exp(-exp(-z)); use expm1 so tiny tail probabilities keep precision.
   return -std::expm1(-std::exp(-z));
 }
 
 double GumbelFit::quantile_exceedance(double p) const {
-  assert(p > 0 && p < 1);
+  if (!(p > 0 && p < 1)) {
+    throw std::domain_error(
+        "GumbelFit::quantile_exceedance: probability must be in (0, 1), got " +
+        std::to_string(p));
+  }
+  if (degenerate()) return mu;  // point mass: every quantile is mu
   // Solve 1 - exp(-exp(-z)) = p  =>  z = -log(-log1p(-p)).
   return mu - beta * std::log(-std::log1p(-p));
 }
 
 GumbelFit fit_gumbel(std::span<const double> xs) {
-  assert(xs.size() >= 2);
+  if (xs.size() < 2) {
+    throw std::invalid_argument("fit_gumbel needs at least 2 block maxima, got " +
+                                std::to_string(xs.size()));
+  }
   const double s = stddev(xs);
-  assert(s > 0 && "Gumbel fit needs a non-constant sample");
   GumbelFit f;
+  if (s <= 0) {
+    // Constant block maxima - quantized cycle counts routinely produce them.
+    // The method-of-moments scale would be 0 and every downstream quantile a
+    // division by zero (NaN pWCETs silently emitted into JSON under NDEBUG),
+    // so return the well-defined degenerate limit: a point mass at the
+    // observed maximum.
+    f.mu = xs[0];
+    f.beta = 0;
+    return f;
+  }
   f.beta = s * std::sqrt(6.0) / std::numbers::pi;
   f.mu = mean(xs) - kEulerGamma * f.beta;
   return f;
@@ -53,7 +72,9 @@ GumbelFit fit_gumbel(std::span<const double> xs) {
 
 std::vector<double> block_maxima(std::span<const double> xs,
                                  std::size_t block) {
-  assert(block >= 1);
+  if (block == 0) {
+    throw std::invalid_argument("block_maxima: block size must be >= 1");
+  }
   std::vector<double> out;
   out.reserve(xs.size() / block);
   for (std::size_t i = 0; i + block <= xs.size(); i += block) {
@@ -74,7 +95,11 @@ double GpdFit::exceedance(double x) const {
 }
 
 double GpdFit::quantile_exceedance(double p) const {
-  assert(p > 0);
+  if (!(p > 0)) {
+    throw std::domain_error(
+        "GpdFit::quantile_exceedance: probability must be > 0, got " +
+        std::to_string(p));
+  }
   if (p >= zeta) return threshold;
   const double ratio = p / zeta;
   if (std::fabs(shape) < 1e-9) return threshold - scale * std::log(ratio);
@@ -82,8 +107,15 @@ double GpdFit::quantile_exceedance(double p) const {
 }
 
 GpdFit fit_gpd_pot(std::span<const double> xs, double threshold_quantile) {
-  assert(xs.size() >= 20);
-  assert(threshold_quantile > 0 && threshold_quantile < 1);
+  if (xs.size() < 20) {
+    throw std::invalid_argument("fit_gpd_pot needs at least 20 samples, got " +
+                                std::to_string(xs.size()));
+  }
+  if (!(threshold_quantile > 0 && threshold_quantile < 1)) {
+    throw std::invalid_argument(
+        "fit_gpd_pot: threshold quantile must be in (0, 1), got " +
+        std::to_string(threshold_quantile));
+  }
   const double u = quantile(xs, threshold_quantile);
 
   std::vector<double> exc;
@@ -145,7 +177,11 @@ GpdFit fit_gpd_pot(std::span<const double> xs, double threshold_quantile) {
 PwcetModel::PwcetModel(std::span<const double> xs, TailModel model,
                        std::size_t block)
     : model_(model), block_(block), sorted_(xs.begin(), xs.end()) {
-  assert(xs.size() >= 100);
+  if (xs.size() < 100) {
+    throw std::invalid_argument(
+        "PwcetModel needs at least 100 runs for a credible EVT fit, got " +
+        std::to_string(xs.size()));
+  }
   std::sort(sorted_.begin(), sorted_.end());
   if (model_ == TailModel::kGumbelBlockMaxima) {
     const std::vector<double> maxima = block_maxima(xs, block_);
@@ -175,7 +211,11 @@ double PwcetModel::exceedance(double bound) const {
 }
 
 double PwcetModel::pwcet(double exceedance_prob) const {
-  assert(exceedance_prob > 0 && exceedance_prob < 1);
+  if (!(exceedance_prob > 0 && exceedance_prob < 1)) {
+    throw std::domain_error(
+        "PwcetModel::pwcet: exceedance probability must be in (0, 1), got " +
+        std::to_string(exceedance_prob));
+  }
   double tail_bound = 0;
   if (model_ == TailModel::kGumbelBlockMaxima) {
     const double pb = run_to_block_exceedance(exceedance_prob, block_);

@@ -22,22 +22,33 @@
 namespace tsc::stats {
 
 /// Gumbel (type-I extreme value) distribution parameters.
+///
+/// beta == 0 denotes the DEGENERATE limit, a point mass at mu.  Quantized
+/// cycle counts routinely produce constant block-maxima samples, and the
+/// degenerate model keeps every query well defined instead of dividing by
+/// a zero scale (exceedance is the unit step at mu, every quantile is mu).
 struct GumbelFit {
   double mu = 0;    ///< location
-  double beta = 1;  ///< scale (> 0)
+  double beta = 1;  ///< scale (>= 0; 0 = degenerate point mass at mu)
+
+  /// True when the fit collapsed to a point mass (constant maxima).
+  [[nodiscard]] bool degenerate() const { return beta <= 0; }
 
   /// P(X > x) under the fitted Gumbel.
   [[nodiscard]] double exceedance(double x) const;
   /// Smallest x with P(X > x) <= p (the pWCET at exceedance probability p).
+  /// Throws std::domain_error unless p is in (0, 1).
   [[nodiscard]] double quantile_exceedance(double p) const;
 };
 
-/// Fit a Gumbel distribution by the method of moments.
-/// Precondition: xs.size() >= 2 and xs not constant.
+/// Fit a Gumbel distribution by the method of moments.  A constant sample
+/// yields the degenerate point-mass model (beta == 0) - see GumbelFit.
+/// Throws std::invalid_argument for fewer than 2 maxima.
 [[nodiscard]] GumbelFit fit_gumbel(std::span<const double> xs);
 
 /// Reduce a sample to per-block maxima (block-maxima EVT step).
-/// Trailing partial blocks are dropped.  Precondition: block >= 1.
+/// Trailing partial blocks are dropped.  Throws std::invalid_argument when
+/// block == 0.
 [[nodiscard]] std::vector<double> block_maxima(std::span<const double> xs,
                                                std::size_t block);
 
@@ -50,7 +61,8 @@ struct GpdFit {
 
   /// P(X > x) for x >= threshold under the fitted tail model.
   [[nodiscard]] double exceedance(double x) const;
-  /// pWCET at exceedance probability p (p < zeta).
+  /// pWCET at exceedance probability p (p < zeta).  Throws std::domain_error
+  /// unless p > 0.
   [[nodiscard]] double quantile_exceedance(double p) const;
 };
 
@@ -61,7 +73,9 @@ struct GpdFit {
 /// samples are discrete and lumpy, and small-sample PWM shape estimates
 /// otherwise swing wildly positive, projecting absurd bounds.  Outside the
 /// band the PWM shape is used, clamped to [-0.5, 0.25].
-/// Precondition: enough points above the threshold (>= 10).
+/// Throws std::invalid_argument when xs.size() < 20 or threshold_quantile
+/// is outside (0, 1); fewer than 10 excesses yields the documented
+/// degenerate point-mass-with-tiny-tail model.
 [[nodiscard]] GpdFit fit_gpd_pot(std::span<const double> xs,
                                  double threshold_quantile = 0.85);
 
@@ -79,7 +93,10 @@ enum class TailModel { kGumbelBlockMaxima, kGpdPot };
 class PwcetModel {
  public:
   /// Fit the requested tail model.  `block` is the block-maxima block size
-  /// (ignored for GPD).  Precondition: xs.size() >= 100.
+  /// (ignored for GPD).  Throws std::invalid_argument when xs.size() < 100
+  /// (EVT fits on fewer runs are not credible and the campaign layer must
+  /// hear about a misconfigured sample budget even in Release builds) or
+  /// block == 0.
   PwcetModel(std::span<const double> xs, TailModel model,
              std::size_t block = 20);
 
@@ -88,6 +105,7 @@ class PwcetModel {
   [[nodiscard]] double exceedance(double bound) const;
 
   /// pWCET bound at the target per-run exceedance probability (e.g. 1e-10).
+  /// Throws std::domain_error unless the probability is in (0, 1).
   [[nodiscard]] double pwcet(double exceedance_prob) const;
 
   /// Sampled curve for plotting: one point per decade of exceedance
@@ -97,6 +115,7 @@ class PwcetModel {
   [[nodiscard]] TailModel model() const { return model_; }
   [[nodiscard]] const GumbelFit& gumbel() const { return gumbel_; }
   [[nodiscard]] const GpdFit& gpd() const { return gpd_; }
+  [[nodiscard]] std::size_t block() const { return block_; }
 
  private:
   TailModel model_;

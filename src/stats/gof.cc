@@ -1,0 +1,154 @@
+#include "stats/gof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace tsc::stats {
+namespace {
+
+/// Fewest points for which the W^2 statistic and a Q-Q R^2 are worth
+/// reporting at all.
+constexpr std::size_t kMinPoints = 8;
+
+/// W^2 of a sorted probability-integral-transform sample.
+double cvm_statistic_of_sorted_pit(std::span<const double> u) {
+  const auto n = static_cast<double>(u.size());
+  double w2 = 1.0 / (12.0 * n);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double t = u[i] - (2.0 * static_cast<double>(i) + 1.0) / (2.0 * n);
+    w2 += t * t;
+  }
+  return w2;
+}
+
+/// p-value of W^2 against the case-0 (all parameters known) Cramér-von
+/// Mises reference distribution, computed by deterministic Monte-Carlo:
+/// under H0 the PIT values are n i.i.d. uniforms, so the null distribution
+/// of W^2 needs no family knowledge at all.  The generator seed is a pure
+/// function of n, making the p-value bit-reproducible (the sharded runner
+/// pins experiment JSON byte-for-byte).
+///
+/// Calibration note: our parameters are estimated from the same sample, and
+/// the composite-case W^2 is stochastically smaller than case-0, so this
+/// p-value is CONSERVATIVE FOR ACCEPTING a fitted model - a rejection is
+/// decisive, a pass is friendly.  That is the right polarity for a
+/// fit-quality screen attached to a pWCET report.
+double cvm_case0_p_value(double w2, std::size_t n) {
+  constexpr int kResamples = 500;
+  rng::Pcg32 g(0xC3A11E5ULL * 2654435761ULL + n);
+  int at_least = 0;
+  std::vector<double> u(n);
+  for (int b = 0; b < kResamples; ++b) {
+    for (double& v : u) v = g.next_double();
+    std::sort(u.begin(), u.end());
+    if (cvm_statistic_of_sorted_pit(u) >= w2) ++at_least;
+  }
+  return static_cast<double>(at_least + 1) /
+         static_cast<double>(kResamples + 1);
+}
+
+/// Shared EDF + Q-Q computation: `data` is the (unsorted) sample, `cdf` the
+/// fitted distribution function, `quantile(p)` its inverse.
+GofResult gof_against(std::span<const double> data,
+                      const std::function<double(double)>& cdf,
+                      const std::function<double(double)>& quantile) {
+  GofResult g;
+  g.n = data.size();
+  if (data.size() < kMinPoints) return g;
+
+  std::vector<double> xs(data.begin(), data.end());
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+
+  // Cramér-von Mises on the probability-integral transform.
+  std::vector<double> pit;
+  pit.reserve(xs.size());
+  for (const double x : xs) {
+    pit.push_back(std::clamp(cdf(x), 1e-15, 1.0 - 1e-15));
+  }
+  const double w2 = cvm_statistic_of_sorted_pit(pit);
+
+  // Q-Q agreement at plotting positions (i - 0.5)/n.
+  double x_mean = 0;
+  for (const double x : xs) x_mean += x;
+  x_mean /= n;
+  double ss_res = 0;
+  double ss_tot = 0;
+  double tail_rel = 0;
+  const std::size_t tail_from = xs.size() - std::max<std::size_t>(
+      1, xs.size() / 10);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / n;
+    const double q = quantile(p);
+    ss_res += (xs[i] - q) * (xs[i] - q);
+    ss_tot += (xs[i] - x_mean) * (xs[i] - x_mean);
+    if (i >= tail_from) {
+      const double scale = std::max(std::fabs(xs[i]), 1.0);
+      tail_rel = std::max(tail_rel, std::fabs(q - xs[i]) / scale);
+    }
+  }
+  if (ss_tot <= 0) return g;  // constant sample: nothing to fit against
+
+  g.defined = true;
+  g.cvm_statistic = w2;
+  g.cvm_p_value = cvm_case0_p_value(w2, xs.size());
+  g.qq_r2 = 1.0 - ss_res / ss_tot;
+  g.qq_tail_rel_err = tail_rel;
+  return g;
+}
+
+}  // namespace
+
+GofResult gof_gumbel(std::span<const double> maxima, const GumbelFit& fit) {
+  if (fit.degenerate()) {
+    GofResult g;
+    g.n = maxima.size();
+    return g;
+  }
+  return gof_against(
+      maxima,
+      [&](double x) {
+        return std::exp(-std::exp(-(x - fit.mu) / fit.beta));
+      },
+      [&](double p) { return fit.mu - fit.beta * std::log(-std::log(p)); });
+}
+
+GofResult gof_gpd(std::span<const double> xs, const GpdFit& fit) {
+  std::vector<double> exc;
+  for (const double x : xs) {
+    if (x > fit.threshold) exc.push_back(x - fit.threshold);
+  }
+  if (fit.scale <= 1e-8) {  // collapsed tail (the fit_gpd_pot degenerate arm)
+    GofResult g;
+    g.n = exc.size();
+    return g;
+  }
+  const bool exponential = std::fabs(fit.shape) < 1e-9;
+  return gof_against(
+      exc,
+      [&](double y) {
+        if (exponential) return -std::expm1(-y / fit.scale);
+        const double base = 1.0 + fit.shape * y / fit.scale;
+        if (base <= 0) return 1.0;  // beyond a bounded tail's endpoint
+        return 1.0 - std::pow(base, -1.0 / fit.shape);
+      },
+      [&](double p) {
+        if (exponential) return -fit.scale * std::log1p(-p);
+        return (fit.scale / fit.shape) *
+               (std::pow(1.0 - p, -fit.shape) - 1.0);
+      });
+}
+
+GofResult gof_pwcet_fit(std::span<const double> xs, const PwcetModel& model) {
+  if (model.model() == TailModel::kGumbelBlockMaxima) {
+    const std::vector<double> maxima = block_maxima(xs, model.block());
+    return gof_gumbel(maxima, model.gumbel());
+  }
+  return gof_gpd(xs, model.gpd());
+}
+
+}  // namespace tsc::stats

@@ -1,0 +1,67 @@
+// Goodness-of-fit diagnostics for the fitted EVT tails.
+//
+// The i.i.d. gate (tests.h) says whether a sample MAY be modelled; it says
+// nothing about whether the chosen tail family actually fits.  MBPTA
+// practice therefore pairs the hypothesis tests with fit-quality checks on
+// the projected tail (exceedance plots / EDF statistics - the quality gate
+// MBPTA-CV and the ClepsydraCache-style evaluations apply before trusting a
+// pWCET number).  This module provides two complementary diagnostics:
+//
+//  * A Cramér-von Mises EDF statistic W^2 on the probability-integral
+//    transform of the sample under the fitted distribution, with a p-value
+//    against the case-0 (parameters-known) reference distribution computed
+//    by deterministic Monte-Carlo.  The parameters are estimated from the
+//    same sample, which makes this p-value conservative for ACCEPTING the
+//    fit (composite W^2 is stochastically smaller than case-0): rejections
+//    are decisive, passes are friendly - the right polarity for a
+//    fit-quality screen attached to a pWCET report.
+//
+//  * Q-Q agreement: the R^2 between the empirical order statistics and the
+//    model quantiles at plotting positions (i - 0.5)/n, plus the maximum
+//    relative quantile error over the top decile (the region a pWCET bound
+//    actually extrapolates from).
+//
+// Degenerate fits (a point-mass Gumbel from constant maxima, a collapsed
+// GPD) have no continuous CDF to test against; they yield defined == false.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "stats/evt.h"
+
+namespace tsc::stats {
+
+/// Fit-quality verdict for one fitted tail.
+struct GofResult {
+  /// False when no diagnostic could be computed (degenerate fit or fewer
+  /// than 8 points); every other field is then meaningless.
+  bool defined = false;
+  std::size_t n = 0;        ///< points the diagnostic was computed over
+  double cvm_statistic = 0; ///< Cramér-von Mises W^2
+  double cvm_p_value = 1;   ///< approximate p-value (see header caveat)
+  double qq_r2 = 0;         ///< R^2 of the Q-Q plot (1 = perfect)
+  double qq_tail_rel_err = 0;  ///< max relative quantile error, top decile
+
+  /// Conventional accept: diagnostic defined and the CvM score clears the
+  /// reject threshold.
+  [[nodiscard]] bool acceptable(double alpha = 0.05) const {
+    return defined && cvm_p_value > alpha;
+  }
+};
+
+/// CvM + Q-Q of a block-maxima sample against a fitted Gumbel.
+[[nodiscard]] GofResult gof_gumbel(std::span<const double> maxima,
+                                   const GumbelFit& fit);
+
+/// CvM + Q-Q of the excesses of xs over fit.threshold against the fitted
+/// GPD (only samples strictly above the threshold enter).
+[[nodiscard]] GofResult gof_gpd(std::span<const double> xs, const GpdFit& fit);
+
+/// Convenience dispatcher for a PwcetModel: recomputes the block maxima (or
+/// threshold excesses) from `xs` and runs the matching diagnostic.  `xs`
+/// must be the sample the model was fitted on.
+[[nodiscard]] GofResult gof_pwcet_fit(std::span<const double> xs,
+                                      const PwcetModel& model);
+
+}  // namespace tsc::stats

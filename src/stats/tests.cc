@@ -1,8 +1,9 @@
 #include "stats/tests.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "stats/descriptive.h"
@@ -11,7 +12,11 @@
 namespace tsc::stats {
 
 TestResult ljung_box(std::span<const double> xs, std::size_t max_lag) {
-  assert(xs.size() > max_lag + 1);
+  if (max_lag < 1 || xs.size() <= max_lag + 1) {
+    throw std::invalid_argument("ljung_box: need max_lag >= 1 and more than " +
+                                std::to_string(max_lag + 1) + " samples, got " +
+                                std::to_string(xs.size()));
+  }
   const auto n = static_cast<double>(xs.size());
   double q = 0;
   for (std::size_t k = 1; k <= max_lag; ++k) {
@@ -28,7 +33,9 @@ TestResult ljung_box(std::span<const double> xs, std::size_t max_lag) {
 }
 
 TestResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
-  assert(!a.empty() && !b.empty());
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample: both samples must be non-empty");
+  }
   std::vector<double> sa(a.begin(), a.end());
   std::vector<double> sb(b.begin(), b.end());
   std::sort(sa.begin(), sa.end());
@@ -62,18 +69,38 @@ TestResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
   const double sqrt_ne = std::sqrt(ne);
   const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
 
+  // Tie diagnostic over the pooled sample (see the header's caveat): count
+  // the distinct values of the sorted union.
+  std::size_t distinct = 0;
+  {
+    std::vector<double> pooled;
+    pooled.reserve(sa.size() + sb.size());
+    std::merge(sa.begin(), sa.end(), sb.begin(), sb.end(),
+               std::back_inserter(pooled));
+    for (std::size_t i = 0; i < pooled.size(); ++i) {
+      if (i == 0 || pooled[i] != pooled[i - 1]) ++distinct;
+    }
+  }
+
   TestResult r;
   r.test_name = "ks-two-sample";
   r.statistic = d;
   r.p_value = kolmogorov_q(lambda);
+  r.distinct_values = distinct;
+  r.ties_suspect =
+      distinct < 10 || distinct * 10 < sa.size() + sb.size();
   return r;
 }
 
 TestResult chi2_uniform(std::span<const std::size_t> counts) {
-  assert(counts.size() >= 2);
+  if (counts.size() < 2) {
+    throw std::invalid_argument("chi2_uniform: need at least 2 categories");
+  }
   std::size_t total = 0;
   for (const std::size_t c : counts) total += c;
-  assert(total > 0);
+  if (total == 0) {
+    throw std::invalid_argument("chi2_uniform: all counts are zero");
+  }
   const double expected =
       static_cast<double>(total) / static_cast<double>(counts.size());
   double stat = 0;
@@ -90,7 +117,11 @@ TestResult chi2_uniform(std::span<const std::size_t> counts) {
 }
 
 IidVerdict iid_check(std::span<const double> xs, std::size_t lags) {
-  assert(xs.size() >= 50);
+  if (xs.size() < 50 || xs.size() <= lags + 1) {
+    throw std::invalid_argument(
+        "iid_check: need at least 50 samples (and more than lags + 1), got " +
+        std::to_string(xs.size()));
+  }
   IidVerdict v;
   v.independence = ljung_box(xs, lags);
   const std::size_t half = xs.size() / 2;

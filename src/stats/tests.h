@@ -21,6 +21,14 @@ struct TestResult {
   double statistic = 0;
   double p_value = 1;
   std::size_t dof = 0;  ///< degrees of freedom where applicable, else 0
+  /// Distinct values in the data the statistic was computed over (set by
+  /// ks_two_sample on the pooled sample; 0 for the other tests).
+  std::size_t distinct_values = 0;
+  /// Set by ks_two_sample when the sample is so heavily tied/quantized that
+  /// the continuous-case asymptotic p-value is unreliable - see the
+  /// function's documentation.  Gate-style consumers (the MBPTA i.i.d.
+  /// check) should treat a flagged PASS with suspicion.
+  bool ties_suspect = false;
 
   /// True iff the null hypothesis survives at the given significance level.
   [[nodiscard]] bool passed(double alpha = 0.05) const {
@@ -30,18 +38,32 @@ struct TestResult {
 
 /// Ljung-Box portmanteau test of independence: Q = n(n+2) sum_k r_k^2/(n-k)
 /// over lags 1..max_lag; under H0 (independent series) Q ~ chi^2(max_lag).
-/// The paper uses max_lag = 20.  Precondition: xs.size() > max_lag + 1.
+/// The paper uses max_lag = 20.  Throws std::invalid_argument unless
+/// max_lag >= 1 and xs.size() > max_lag + 1.
 [[nodiscard]] TestResult ljung_box(std::span<const double> xs,
                                    std::size_t max_lag = 20);
 
 /// Two-sample Kolmogorov-Smirnov test of identical distribution using the
-/// asymptotic p-value.  Preconditions: both samples non-empty.
+/// asymptotic (continuous-case) p-value.  Throws std::invalid_argument on an
+/// empty sample.
+///
+/// Ties caveat: the Kolmogorov limit distribution assumes continuous data.
+/// Execution-time samples are quantized cycle counts, and when the pooled
+/// sample collapses onto few distinct values the asymptotic p-value is no
+/// longer calibrated: the small effective support both discretizes the
+/// attainable D values and shrinks D under H0, so the reported p-value
+/// over-states the evidence FOR identical distribution - anti-conservative
+/// for an MBPTA applicability gate, which wants to reject when in doubt.
+/// The result flags that regime via `ties_suspect` (distinct pooled values
+/// < 10, or mean multiplicity > 10, i.e. distinct * 10 < pooled size) and
+/// reports `distinct_values` so callers can surface the diagnostic.
 [[nodiscard]] TestResult ks_two_sample(std::span<const double> a,
                                        std::span<const double> b);
 
 /// Chi-square goodness-of-fit test against the uniform distribution over
 /// `bins` categories.  `counts[i]` is the observed count of category i.
 /// Used to validate placement-function uniformity (paper mbpta-p2/p3).
+/// Throws std::invalid_argument for fewer than 2 bins or an all-zero count.
 [[nodiscard]] TestResult chi2_uniform(std::span<const std::size_t> counts);
 
 /// MBPTA-style i.i.d. verdict over one execution-time sample: Ljung-Box on
@@ -55,7 +77,8 @@ struct IidVerdict {
   }
 };
 
-/// Run both i.i.d. checks the paper applies.  Precondition: xs.size() >= 50.
+/// Run both i.i.d. checks the paper applies.  Throws std::invalid_argument
+/// when xs.size() < 50 (or too short for the requested lag count).
 [[nodiscard]] IidVerdict iid_check(std::span<const double> xs,
                                    std::size_t lags = 20);
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "rng/rng.h"
@@ -170,6 +171,90 @@ TEST(PwcetModel, CurveCoversRequestedDecades)  {
   EXPECT_EQ(curve.size(), 10u);  // 1e-1 .. 1e-10
   EXPECT_NEAR(curve.front().exceedance_prob, 1e-1, 1e-12);
   EXPECT_NEAR(curve.back().exceedance_prob, 1e-10, 1e-21);
+}
+
+// --- degenerate (constant-maxima) regression --------------------------------
+
+TEST(GumbelFit, ConstantSampleYieldsDegeneratePointMass) {
+  // Quantized cycle counts routinely produce constant block maxima.  The
+  // method-of-moments scale is then 0; the fit must return the well-defined
+  // degenerate model instead of dividing by zero (which under NDEBUG used
+  // to emit NaN pWCETs silently).
+  const std::vector<double> maxima(16, 1010.0);
+  const GumbelFit f = fit_gumbel(maxima);
+  EXPECT_TRUE(f.degenerate());
+  EXPECT_DOUBLE_EQ(f.mu, 1010.0);
+  EXPECT_DOUBLE_EQ(f.beta, 0.0);
+  // Point mass: unit-step exceedance, every quantile at the mass point.
+  EXPECT_DOUBLE_EQ(f.exceedance(1009.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.exceedance(1010.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantile_exceedance(1e-10), 1010.0);
+  EXPECT_DOUBLE_EQ(f.quantile_exceedance(0.5), 1010.0);
+}
+
+TEST(PwcetModel, QuantizedConstantMaximaProduceFinitePwcet) {
+  // A varying sample whose block maxima are all identical: every block of
+  // 20 contains exactly one 1010-cycle run among 1000-cycle runs.  The
+  // sample passes the stddev > 0 gate, the Gumbel fit degenerates, and the
+  // pWCET must come out finite and anchored at the observed maximum - not
+  // NaN/Inf.
+  std::vector<double> xs;
+  for (int block = 0; block < 10; ++block) {
+    for (int i = 0; i < 19; ++i) xs.push_back(1000.0);
+    xs.push_back(1010.0);
+  }
+  const PwcetModel model(xs, TailModel::kGumbelBlockMaxima, 20);
+  EXPECT_TRUE(model.gumbel().degenerate());
+  for (const double p : {1e-3, 1e-10, 1e-12}) {
+    const double bound = model.pwcet(p);
+    EXPECT_TRUE(std::isfinite(bound)) << "p=" << p;
+    EXPECT_DOUBLE_EQ(bound, 1010.0) << "p=" << p;
+  }
+  EXPECT_TRUE(std::isfinite(model.exceedance(1005.0)));
+  for (const auto& pt : model.curve(1e-12)) {
+    EXPECT_TRUE(std::isfinite(pt.bound));
+  }
+}
+
+// --- validated preconditions (Release builds must fail loudly) --------------
+
+TEST(EvtValidation, FitGumbelRejectsTinySamples) {
+  const std::vector<double> one{5.0};
+  EXPECT_THROW((void)fit_gumbel(one), std::invalid_argument);
+}
+
+TEST(EvtValidation, QuantileExceedanceRejectsBadProbability) {
+  const GumbelFit f{.mu = 10.0, .beta = 2.0};
+  EXPECT_THROW((void)f.quantile_exceedance(0.0), std::domain_error);
+  EXPECT_THROW((void)f.quantile_exceedance(1.0), std::domain_error);
+  EXPECT_THROW((void)f.quantile_exceedance(-0.5), std::domain_error);
+  const GpdFit g{.threshold = 1.0, .scale = 1.0, .shape = 0.0, .zeta = 0.1};
+  EXPECT_THROW((void)g.quantile_exceedance(0.0), std::domain_error);
+}
+
+TEST(EvtValidation, FitGpdPotRejectsBadInputs) {
+  const auto xs = exp_sample(10.0, 10, 21);
+  EXPECT_THROW((void)fit_gpd_pot(xs), std::invalid_argument);
+  const auto ok = exp_sample(10.0, 100, 22);
+  EXPECT_THROW((void)fit_gpd_pot(ok, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)fit_gpd_pot(ok, 1.0), std::invalid_argument);
+}
+
+TEST(EvtValidation, PwcetModelRejectsSmallSamplesAndBadProbability) {
+  const auto tiny = gumbel_sample(100.0, 5.0, 99, 23);
+  EXPECT_THROW((void)PwcetModel(tiny, TailModel::kGpdPot),
+               std::invalid_argument);
+  const auto xs = gumbel_sample(100.0, 5.0, 200, 24);
+  EXPECT_THROW((void)PwcetModel(xs, TailModel::kGumbelBlockMaxima, 0),
+               std::invalid_argument);
+  const PwcetModel model(xs, TailModel::kGpdPot);
+  EXPECT_THROW((void)model.pwcet(0.0), std::domain_error);
+  EXPECT_THROW((void)model.pwcet(1.0), std::domain_error);
+}
+
+TEST(EvtValidation, BlockMaximaRejectsZeroBlock) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_THROW((void)block_maxima(xs, 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+// Tests for the EVT goodness-of-fit diagnostics (stats/gof.h): the CvM
+// score must accept the true model and reject a wrong family, the Q-Q
+// metrics must track quantile agreement, and degenerate fits must come back
+// undefined rather than numerically garbled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.h"
+#include "stats/evt.h"
+#include "stats/gof.h"
+
+namespace tsc::stats {
+namespace {
+
+std::vector<double> gumbel_sample(double mu, double beta, int n,
+                                  std::uint64_t seed) {
+  rng::Pcg32 g(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = g.next_double();
+    xs.push_back(mu - beta * std::log(-std::log(u + 1e-15)));
+  }
+  return xs;
+}
+
+std::vector<double> exp_sample(double scale, int n, std::uint64_t seed) {
+  rng::Pcg32 g(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(-scale * std::log(1.0 - g.next_double()));
+  }
+  return xs;
+}
+
+TEST(GofGumbel, AcceptsTrueModel) {
+  const auto xs = gumbel_sample(100.0, 5.0, 500, 41);
+  const GumbelFit f = fit_gumbel(xs);
+  const GofResult g = gof_gumbel(xs, f);
+  ASSERT_TRUE(g.defined);
+  EXPECT_EQ(g.n, 500u);
+  EXPECT_TRUE(g.acceptable(0.05)) << "CvM p=" << g.cvm_p_value;
+  EXPECT_GT(g.qq_r2, 0.99);
+  EXPECT_LT(g.qq_tail_rel_err, 0.1);
+}
+
+TEST(GofGumbel, RejectsWrongFamily) {
+  // Uniform data forced through a moment-matched Gumbel: the EDF shapes
+  // differ grossly and the diagnostic must say so.
+  rng::Pcg32 g(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(g.next_double());
+  const GumbelFit f = fit_gumbel(xs);
+  const GofResult r = gof_gumbel(xs, f);
+  ASSERT_TRUE(r.defined);
+  EXPECT_FALSE(r.acceptable(0.05)) << "CvM p=" << r.cvm_p_value;
+}
+
+TEST(GofGumbel, DegenerateFitIsUndefined) {
+  const std::vector<double> maxima(32, 7.0);
+  const GumbelFit f = fit_gumbel(maxima);
+  ASSERT_TRUE(f.degenerate());
+  const GofResult g = gof_gumbel(maxima, f);
+  EXPECT_FALSE(g.defined);
+  EXPECT_FALSE(g.acceptable());
+}
+
+TEST(GofGumbel, TooFewPointsIsUndefined) {
+  const auto xs = gumbel_sample(10.0, 1.0, 7, 43);
+  const GumbelFit f{.mu = 10.0, .beta = 1.0};
+  EXPECT_FALSE(gof_gumbel(xs, f).defined);
+}
+
+TEST(GofGpd, AcceptsExponentialTail) {
+  const auto xs = exp_sample(10.0, 2000, 44);
+  const GpdFit f = fit_gpd_pot(xs, 0.85);
+  const GofResult g = gof_gpd(xs, f);
+  ASSERT_TRUE(g.defined);
+  EXPECT_NEAR(static_cast<double>(g.n), 300.0, 2.0);  // ~15% of 2000 excesses
+  EXPECT_TRUE(g.acceptable(0.05)) << "CvM p=" << g.cvm_p_value;
+  EXPECT_GT(g.qq_r2, 0.95);
+}
+
+TEST(GofGpd, RejectsGrossMismatch) {
+  // Excesses of a uniform sample against a deliberately wrong heavy-tailed
+  // GPD: reject.
+  rng::Pcg32 g(45);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(g.next_double());
+  GpdFit f = fit_gpd_pot(xs, 0.5);
+  f.shape = 0.25;             // force a fat tail the data does not have
+  f.scale = f.scale * 4.0;
+  const GofResult r = gof_gpd(xs, f);
+  ASSERT_TRUE(r.defined);
+  EXPECT_FALSE(r.acceptable(0.05)) << "CvM p=" << r.cvm_p_value;
+}
+
+TEST(GofGpd, CollapsedTailIsUndefined) {
+  // The fit_gpd_pot degenerate arm (scale 1e-9) has no testable CDF.
+  const GpdFit f{.threshold = 100.0, .scale = 1e-9, .shape = 0.0,
+                 .zeta = 0.0};
+  const std::vector<double> xs(200, 100.0);
+  EXPECT_FALSE(gof_gpd(xs, f).defined);
+}
+
+TEST(GofDispatch, MatchesUnderlyingDiagnostics) {
+  const auto xs = gumbel_sample(1000.0, 20.0, 1000, 46);
+  const PwcetModel gumbel_model(xs, TailModel::kGumbelBlockMaxima, 10);
+  const GofResult via_model = gof_pwcet_fit(xs, gumbel_model);
+  const GofResult direct =
+      gof_gumbel(block_maxima(xs, 10), gumbel_model.gumbel());
+  ASSERT_TRUE(via_model.defined);
+  EXPECT_DOUBLE_EQ(via_model.cvm_statistic, direct.cvm_statistic);
+  EXPECT_DOUBLE_EQ(via_model.qq_r2, direct.qq_r2);
+
+  const PwcetModel gpd_model(xs, TailModel::kGpdPot);
+  const GofResult via_gpd = gof_pwcet_fit(xs, gpd_model);
+  const GofResult direct_gpd = gof_gpd(xs, gpd_model.gpd());
+  ASSERT_TRUE(via_gpd.defined);
+  EXPECT_DOUBLE_EQ(via_gpd.cvm_statistic, direct_gpd.cvm_statistic);
+}
+
+TEST(GofCvm, PValueDecreasesWithStatistic) {
+  // The piecewise approximation must at least be monotone in the adjusted
+  // statistic across its branch boundaries.
+  const auto xs = gumbel_sample(0.0, 1.0, 200, 47);
+  const GumbelFit good = fit_gumbel(xs);
+  GumbelFit worse = good;
+  double prev_p = 1.1;
+  for (double shift = 0.0; shift < 2.0; shift += 0.25) {
+    worse.mu = good.mu + shift;  // progressively worse location
+    const GofResult r = gof_gumbel(xs, worse);
+    ASSERT_TRUE(r.defined);
+    EXPECT_LE(r.cvm_p_value, prev_p + 1e-12) << "shift=" << shift;
+    prev_p = r.cvm_p_value;
+  }
+}
+
+}  // namespace
+}  // namespace tsc::stats

@@ -52,6 +52,70 @@ TEST(Analysis, TooFewRunsRejected) {
   EXPECT_THROW((void)analyze(xs), std::invalid_argument);
 }
 
+TEST(Analysis, MisconfiguredMinRunsFailsLoudly) {
+  // min_runs below the PwcetModel floor must be rejected up front - in
+  // Release builds too - rather than riding an assert into UB mid-campaign.
+  const auto xs = gumbel_like_sample(2000, 5);
+  AnalysisConfig cfg;
+  cfg.min_runs = 50;
+  EXPECT_THROW((void)analyze(xs, cfg), std::invalid_argument);
+  cfg.min_runs = 300;
+  cfg.alpha = 1.5;
+  EXPECT_THROW((void)analyze(xs, cfg), std::invalid_argument);
+  cfg.alpha = 0.05;
+  cfg.block = 0;
+  EXPECT_THROW((void)analyze(xs, cfg), std::invalid_argument);
+  cfg.block = 20;
+  cfg.lags = 0;
+  EXPECT_THROW((void)analyze(xs, cfg), std::invalid_argument);
+}
+
+TEST(Analysis, ApplicableReportCarriesFitDiagnostics) {
+  const auto xs = gumbel_like_sample(2000, 9);
+  const AnalysisReport report = analyze(xs);
+  ASSERT_TRUE(report.mbpta_applicable());
+  ASSERT_TRUE(report.gof.has_value());
+  EXPECT_TRUE(report.gof->defined);
+  EXPECT_GT(report.gof->qq_r2, 0.95);
+}
+
+TEST(Convergence, IidSampleConverges) {
+  const auto xs = gumbel_like_sample(1500, 10);
+  AnalysisConfig cfg;
+  const ConvergenceCurve curve = pwcet_convergence(xs, cfg, 1e-10, 6, 0.10);
+  ASSERT_GE(curve.points.size(), 3u);
+  EXPECT_EQ(curve.points.back().runs, 1500u);
+  EXPECT_TRUE(curve.converged)
+      << "final bounds: " << curve.points[curve.points.size() - 2].bound
+      << " -> " << curve.final_bound();
+}
+
+TEST(Convergence, TrendingSampleDoesNotConverge) {
+  // A steady upward trend: every prefix re-estimate chases a tail that is
+  // still growing, so the bound keeps climbing across the grid and must not
+  // be declared stable.
+  rng::Pcg32 g(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 600; ++i) {
+    xs.push_back(1000.0 + 5.0 * i + 20.0 * g.next_double());
+  }
+  AnalysisConfig cfg;
+  const ConvergenceCurve curve = pwcet_convergence(xs, cfg, 1e-10, 6, 0.10);
+  ASSERT_GE(curve.points.size(), 3u);
+  EXPECT_FALSE(curve.converged)
+      << "bounds: " << curve.points.front().bound << " -> "
+      << curve.final_bound();
+}
+
+TEST(Convergence, ValidatesInputs) {
+  const auto xs = gumbel_like_sample(99, 12);
+  AnalysisConfig cfg;
+  EXPECT_THROW((void)pwcet_convergence(xs, cfg), std::invalid_argument);
+  const auto ok = gumbel_like_sample(400, 13);
+  EXPECT_THROW((void)pwcet_convergence(ok, cfg, 1e-10, 1),
+               std::invalid_argument);
+}
+
 TEST(Analysis, ConstantSampleIsNotModeled) {
   const std::vector<double> xs(1000, 42.0);
   const AnalysisReport report = analyze(xs);

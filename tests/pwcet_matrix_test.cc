@@ -1,0 +1,128 @@
+// Tests for the pWCET-matrix building blocks: the shared sharded
+// time-collection path (worker-count and shard-size invariance), and the
+// policy-machine timing behaviour the matrix verdicts rest on - the
+// deterministic platform must be layout-locked (constant per-run times)
+// while the MBPTA-style randomized platforms produce analyzable variation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/policy.h"
+#include "isa/interpreter.h"
+#include "isa/kernels.h"
+#include "mbpta/analysis.h"
+#include "rng/rng.h"
+#include "runner/sharded.h"
+#include "stats/tests.h"
+
+namespace tsc::runner {
+namespace {
+
+/// The matrix's per-run protocol: fresh machine, fresh layout, timed second
+/// pass of a 20KB vector sum.
+double kernel_time(core::PlacementPolicy policy, std::uint64_t cell_seed,
+                   std::size_t run) {
+  const auto machine = core::build_policy_machine(
+      policy, rng::derive_seed(cell_seed, run), /*partitioned=*/false);
+  machine->set_process(core::kMatrixVictim);
+  isa::Interpreter interp(*machine);
+  interp.load_program(
+      isa::assemble(isa::vector_sum_source(0x40000, 5120), 0x1000));
+  (void)interp.run(0x1000);
+  return static_cast<double>(interp.run(0x1000).cycles);
+}
+
+TEST(RunShardedTimes, InvariantToShardSizeAndWorkerCount) {
+  // measure() is a pure function of the run index, so every decomposition
+  // must concatenate to the same vector, bit for bit.
+  const auto measure = [](std::size_t r) {
+    return static_cast<double>((r * 2654435761u) % 1000);
+  };
+  const std::vector<double> reference = run_sharded_times(103, 103, 1, measure);
+  ASSERT_EQ(reference.size(), 103u);
+  for (const std::size_t shard_size : {1u, 7u, 32u, 64u, 200u}) {
+    for (const unsigned workers : {1u, 2u, 5u}) {
+      EXPECT_EQ(run_sharded_times(103, shard_size, workers, measure),
+                reference)
+          << "shard_size=" << shard_size << " workers=" << workers;
+    }
+  }
+}
+
+TEST(RunShardedTimes, HandlesEmptyAndTinyBudgets) {
+  const auto measure = [](std::size_t r) { return static_cast<double>(r); };
+  EXPECT_TRUE(run_sharded_times(0, 10, 2, measure).empty());
+  EXPECT_EQ(run_sharded_times(1, 0, 2, measure),  // shard size clamps to 1
+            std::vector<double>{0.0});
+}
+
+TEST(PwcetMatrixProtocol, ModuloPlatformIsLayoutLocked) {
+  // Same binary, deterministic placement: every run of the protocol takes
+  // exactly the same time regardless of the per-run seed - the
+  // "degenerate" verdict of the matrix, and the paper's composability
+  // argument against deterministic caches.
+  const double first = kernel_time(core::PlacementPolicy::kModulo, 99, 0);
+  for (std::size_t r = 1; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(kernel_time(core::PlacementPolicy::kModulo, 99, r),
+                     first);
+  }
+}
+
+TEST(PwcetMatrixProtocol, RpCachePermutationPreservesConflicts) {
+  // RPCache permutes SET LABELS per process; lines that conflicted under
+  // modulo still conflict after relabelling, so single-process timing stays
+  // constant run to run.  (Its security value is against a co-located
+  // attacker, not timing variability - exactly what the tradeoff table
+  // records.)
+  const double first = kernel_time(core::PlacementPolicy::kRpCache, 17, 0);
+  for (std::size_t r = 1; r < 6; ++r) {
+    EXPECT_DOUBLE_EQ(kernel_time(core::PlacementPolicy::kRpCache, 17, r),
+                     first);
+  }
+}
+
+TEST(PwcetMatrixProtocol, RandomizedPlatformsPassTheIidGate) {
+  for (const core::PlacementPolicy policy :
+       {core::PlacementPolicy::kHashRp, core::PlacementPolicy::kRandomModulo}) {
+    ASSERT_TRUE(core::randomized(policy));
+    std::vector<double> times;
+    for (std::size_t r = 0; r < 120; ++r) {
+      times.push_back(kernel_time(policy, 7, r));
+    }
+    bool varies = false;
+    for (const double t : times) varies = varies || t != times.front();
+    ASSERT_TRUE(varies) << core::to_string(policy);
+    const stats::IidVerdict v = stats::iid_check(times, 20);
+    EXPECT_TRUE(v.independence.passed(0.01))
+        << core::to_string(policy) << " p=" << v.independence.p_value;
+    EXPECT_TRUE(v.identical.passed(0.01))
+        << core::to_string(policy) << " p=" << v.identical.p_value;
+  }
+}
+
+TEST(PwcetMatrixProtocol, RandomizedBoundIsStableAcrossPrefixes) {
+  std::vector<double> times;
+  for (std::size_t r = 0; r < 200; ++r) {
+    times.push_back(kernel_time(core::PlacementPolicy::kHashRp, 7, r));
+  }
+  mbpta::AnalysisConfig cfg;
+  cfg.min_runs = 100;
+  cfg.block = 10;
+  cfg.tail = stats::TailModel::kGumbelBlockMaxima;
+  const mbpta::ConvergenceCurve curve =
+      mbpta::pwcet_convergence(times, cfg, 1e-10, 6, 0.10);
+  ASSERT_GE(curve.points.size(), 3u);
+  EXPECT_GT(curve.final_bound(), *std::max_element(times.begin(), times.end()));
+}
+
+TEST(PolicyHelpers, RandomizedClassifiesModuloOnly) {
+  EXPECT_FALSE(core::randomized(core::PlacementPolicy::kModulo));
+  EXPECT_TRUE(core::randomized(core::PlacementPolicy::kHashRp));
+  EXPECT_TRUE(core::randomized(core::PlacementPolicy::kRpCache));
+  EXPECT_TRUE(core::randomized(core::PlacementPolicy::kRandomModulo));
+}
+
+}  // namespace
+}  // namespace tsc::runner

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "rng/rng.h"
@@ -159,6 +160,67 @@ TEST(KsTwoSample, IdenticalSamplesStatZero) {
   const TestResult r = ks_two_sample(xs, xs);
   EXPECT_DOUBLE_EQ(r.statistic, 0.0);
   EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsTwoSample, ContinuousSamplesAreNotFlaggedForTies) {
+  rng::Pcg32 a(31);
+  rng::Pcg32 b(32);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(a.next_double());
+    ys.push_back(b.next_double());
+  }
+  const TestResult r = ks_two_sample(xs, ys);
+  EXPECT_FALSE(r.ties_suspect);
+  EXPECT_EQ(r.distinct_values, 800u);
+}
+
+TEST(KsTwoSample, QuantizedCycleCountsAreFlaggedAsTieSuspect) {
+  // Integer-quantized "cycle counts" drawn from a handful of levels: the
+  // continuous-case asymptotic p-value is not calibrated here (the paper's
+  // gate would over-trust a PASS), and the result must say so.
+  rng::Pcg32 a(33);
+  rng::Pcg32 b(34);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(1000.0 + 10.0 * static_cast<double>(a.next_below(6)));
+    ys.push_back(1000.0 + 10.0 * static_cast<double>(b.next_below(6)));
+  }
+  const TestResult r = ks_two_sample(xs, ys);
+  EXPECT_TRUE(r.ties_suspect);
+  EXPECT_LE(r.distinct_values, 6u);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(KsTwoSample, ModerateQuantizationStillFlagsHeavyTies) {
+  // ~30 distinct values over 800 pooled samples: mean multiplicity > 10,
+  // the flag's second trigger.
+  rng::Pcg32 a(35);
+  rng::Pcg32 b(36);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(static_cast<double>(a.next_below(30)));
+    ys.push_back(static_cast<double>(b.next_below(30)));
+  }
+  const TestResult r = ks_two_sample(xs, ys);
+  EXPECT_TRUE(r.ties_suspect);
+}
+
+TEST(TestsValidation, RejectBadInputsLoudly) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)ks_two_sample(empty, xs), std::invalid_argument);
+  EXPECT_THROW((void)ks_two_sample(xs, empty), std::invalid_argument);
+  EXPECT_THROW((void)ljung_box(xs, 20), std::invalid_argument);
+  const std::vector<std::size_t> one_bin{10};
+  EXPECT_THROW((void)chi2_uniform(one_bin), std::invalid_argument);
+  const std::vector<std::size_t> zeros{0, 0, 0};
+  EXPECT_THROW((void)chi2_uniform(zeros), std::invalid_argument);
+  EXPECT_THROW((void)iid_check(xs, 20), std::invalid_argument);
 }
 
 TEST(Chi2Uniform, UniformCountsPass) {
