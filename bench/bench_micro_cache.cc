@@ -8,11 +8,16 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/benes.h"
 #include "cache/builder.h"
 #include "cache/placement.h"
+#include "core/policy.h"
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "isa/kernels.h"
 #include "rng/rng.h"
 #include "sim/machine.h"
 
@@ -103,6 +108,59 @@ void BM_MachineRunBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_MachineRunBatch);
+
+// Whole-kernel interpretation on the paper platform (MBPTA/TSCache cache
+// design): fetch, decode and execute every instruction with instruction and
+// data traffic simulated through the hierarchy.  This is the per-run cost
+// of the MBPTA protocols (fig1 / sec622 / pwcet_matrix), so its throughput
+// bounds how many runs a campaign can collect.
+void BM_Interpreter(benchmark::State& state, const std::string& source) {
+  auto config = sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                                    cache::MapperKind::kHashRp,
+                                    cache::ReplacementKind::kRandom);
+  sim::Machine machine(config, std::make_shared<rng::XorShift64Star>(7));
+  machine.hierarchy().set_seed(ProcId{1}, Seed{2018});
+  machine.set_process(ProcId{1});
+  isa::Interpreter interp(machine);
+  interp.load_program(isa::assemble(source, 0x1000));
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    const isa::RunResult r = interp.run(0x1000);
+    steps += static_cast<std::int64_t>(r.steps);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK_CAPTURE(BM_Interpreter, vecsum,
+                  tsc::isa::vector_sum_source(0x40000, 5120));
+BENCHMARK_CAPTURE(BM_Interpreter, matmul,
+                  tsc::isa::matmul_source(0x40000, 0x50000, 0x60000, 24));
+
+// What one MBPTA run pays before any instruction executes.  Fresh: build a
+// policy machine from scratch (the pre-pool protocol).  Reset: re-deploy a
+// pooled machine with Machine::reset + configure (bit-exact, allocation
+// free) - the MachinePool fast path.
+void BM_MachineFresh(benchmark::State& state, core::PlacementPolicy policy) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto machine = core::build_policy_machine(policy, seed++, false);
+    benchmark::DoNotOptimize(machine->now());
+  }
+}
+BENCHMARK_CAPTURE(BM_MachineFresh, rm, core::PlacementPolicy::kRandomModulo);
+BENCHMARK_CAPTURE(BM_MachineFresh, rpcache, core::PlacementPolicy::kRpCache);
+
+void BM_MachineReset(benchmark::State& state, core::PlacementPolicy policy) {
+  auto machine = core::build_policy_machine(policy, 0, false);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    machine->reset(core::policy_machine_rng_seed(seed));
+    core::configure_policy_machine(*machine, seed++, false);
+    benchmark::DoNotOptimize(machine->now());
+  }
+}
+BENCHMARK_CAPTURE(BM_MachineReset, rm, core::PlacementPolicy::kRandomModulo);
+BENCHMARK_CAPTURE(BM_MachineReset, rpcache, core::PlacementPolicy::kRpCache);
 
 void BM_BenesPermutation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

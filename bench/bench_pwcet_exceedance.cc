@@ -1,0 +1,15 @@
+// pWCET exceedance plots: for every cell of the pWCET matrix (ISA kernel x
+// placement policy x partitioning), the empirical tail of the per-run
+// execution times overlaid with the fitted Gumbel / GPD-POT exceedance
+// curves and the extrapolated per-decade pWCET curve - the JSON a plotting
+// script needs to draw paper-style pWCET figures from campaign output.
+//
+// Thin wrapper: the scenario itself is registered once in
+// src/runner/experiments.cc as "pwcet_exceedance" and shared with the
+// tsc_run driver.  Output is a JSON document that is bit-identical for
+// every --shards value.
+#include "runner/experiment.h"
+
+int main(int argc, char** argv) {
+  return tsc::runner::experiment_main("pwcet_exceedance", argc, argv);
+}

@@ -1,5 +1,6 @@
 #include "cache/cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstring>
@@ -579,6 +580,41 @@ std::uint64_t Cache::flush() {
   stats_.flushed_lines += count;
   replacement_->reset();
   return count;
+}
+
+bool Cache::try_repeat_hit(ProcId proc, Addr addr, std::uint64_t count) {
+  const Addr line = addr >> line_shift_;
+  const std::uint32_t set = map_set(context(proc), line);
+  const std::uint32_t ways = config_.geometry.ways();
+  const std::uint64_t probe = (line << 1) | 1;
+  const std::uint64_t* tv = tagv_.data() + static_cast<std::size_t>(set) * ways;
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    if (tv[w] == probe) {
+      stats_.accesses += count;
+      stats_.hits += count;
+      // One touch == `count` touches of the same way: LRU/PLRU reordering
+      // and the NMRU marker are idempotent, FIFO/random ignore hits.
+      replacement_->touch(set, w);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::reset() {
+  std::fill(tagv_.begin(), tagv_.end(), std::uint64_t{0});
+  std::fill(owner_.begin(), owner_.end(), 0u);
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  stats_ = CacheStats{};
+  replacement_->reset();
+  mapper_->reset();
+  // Invalidate resolved contexts (storage retained): the next access or
+  // set_seed re-resolves against the mapper's default-seed state.
+  for (ResolvedMapping& ctx : contexts_) ctx.valid = false;
+  hot_.fill(HotCtx{});
+  partitions_.clear();
+  std::fill(partition_rr_.begin(), partition_rr_.end(), 0u);
+  slow_fill_ = config_.random_fill_window > 0;
 }
 
 void Cache::set_seed(ProcId proc, Seed seed) {

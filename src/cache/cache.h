@@ -115,6 +115,27 @@ class Cache {
   /// number of lines that were valid.
   std::uint64_t flush();
 
+  /// `count` back-to-back repeated accesses (reads) of the line containing
+  /// `addr`, all guaranteed hits because nothing intervenes between them:
+  /// if the line is resident, account `count` accesses + hits and touch the
+  /// replacement state exactly as `count` individual read hits of the same
+  /// way would (touching the same way is idempotent for every shipped
+  /// policy), then return true.  Returns false - and changes nothing - when
+  /// the line is not resident (e.g. the secure-contention rule or random
+  /// fill declined to allocate it); the caller falls back to access().
+  /// This is the Machine::instr_block fast path: sequential instruction
+  /// fetches within one cache line skip the full lookup after the first.
+  bool try_repeat_hit(ProcId proc, Addr addr, std::uint64_t count);
+
+  /// Return to the just-constructed state - no valid lines, default-seed
+  /// mappings, initial replacement metadata, zero stats, no partitions -
+  /// while keeping every allocation (line arrays, RPCache table buffers,
+  /// resolved-context storage).  With the shared rng reseeded to its
+  /// construction value, a reset cache replays a freshly built one
+  /// bit-exactly; runner::MachinePool relies on this.  (Random Modulo memo
+  /// diagnostics accumulate across reset, like reset_stats.)
+  void reset();
+
   /// Change the placement seed of a process.  The caller (OS model) decides
   /// whether a flush must accompany the change for consistency.  The
   /// process's resolved mapping context is refreshed immediately.

@@ -67,6 +67,14 @@ Seed RpCacheMapper::seed(ProcId proc) const {
   return seeds_.get_or(proc, default_seed_);
 }
 
+void RpCacheMapper::reset() {
+  seeds_.clear();
+  // A logically empty per-process table means "use the default table";
+  // clear() keeps each buffer's capacity, so the next set_seed for the same
+  // process regenerates in place without allocating.
+  for (std::vector<std::uint32_t>& table : tables_) table.clear();
+}
+
 void RpCacheMapper::resolve(ProcId proc, ResolvedMapping& out) const {
   out.kind = MappingKind::kRpCache;
   out.seed = seed(proc);
@@ -75,8 +83,10 @@ void RpCacheMapper::resolve(ProcId proc, ResolvedMapping& out) const {
 
 void RpCacheMapper::regenerate(std::vector<std::uint32_t>& table, Seed seed) {
   if (table.empty()) {
+    // A cleared table (mapper reset) keeps its capacity: resizing it back
+    // touches no heap, so only count the genuinely fresh allocation.
+    if (table.capacity() < geo_.sets()) ++table_allocations_;
     table.resize(geo_.sets());
-    ++table_allocations_;
   }
   assert(table.size() == geo_.sets());
   for (std::uint32_t i = 0; i < geo_.sets(); ++i) table[i] = i;

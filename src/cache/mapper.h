@@ -42,6 +42,12 @@ class IndexMapper {
   /// Current seed of a process (default seed if never set).
   [[nodiscard]] virtual Seed seed(ProcId proc) const = 0;
 
+  /// Forget every explicitly installed per-process seed (and any state
+  /// derived from it, e.g. RPCache tables), returning to the default-seed
+  /// semantics of a freshly constructed mapper - without releasing storage,
+  /// so pooled machines reseed with zero allocation churn.
+  virtual void reset() = 0;
+
   /// Resolve the process's mapping into a flat context for the cache's
   /// devirtualized access path.  Kind-specific pointers (RPCache table,
   /// RM memo owner) alias this mapper's storage and stay valid until the
@@ -80,6 +86,7 @@ class SeededMapper final : public IndexMapper {
   [[nodiscard]] std::uint32_t map(Addr line_addr, ProcId proc) const override;
   void set_seed(ProcId proc, Seed seed) override;
   [[nodiscard]] Seed seed(ProcId proc) const override;
+  void reset() override { seeds_.clear(); }
   void resolve(ProcId proc, ResolvedMapping& out) const override;
   [[nodiscard]] MappingKind mapping_kind() const override;
   [[nodiscard]] const Placement* placement_ptr() const override {
@@ -112,6 +119,7 @@ class RpCacheMapper final : public IndexMapper {
   [[nodiscard]] std::uint32_t map(Addr line_addr, ProcId proc) const override;
   void set_seed(ProcId proc, Seed seed) override;
   [[nodiscard]] Seed seed(ProcId proc) const override;
+  void reset() override;
   void resolve(ProcId proc, ResolvedMapping& out) const override;
   [[nodiscard]] MappingKind mapping_kind() const override {
     return MappingKind::kRpCache;

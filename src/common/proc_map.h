@@ -8,6 +8,7 @@
 // an indexed load with a presence flag is one predictable branch.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <vector>
@@ -46,6 +47,15 @@ class ProcIndexed {
   [[nodiscard]] const T& get_or(ProcId proc, const T& fallback) const {
     const T* p = find(proc);
     return p != nullptr ? *p : fallback;
+  }
+
+  /// Remove every entry, keeping the allocated capacity (pool reuse: a
+  /// cleared map behaves exactly like a fresh one, without reallocating on
+  /// the next set of the same process ids).
+  void clear() {
+    std::fill(present_.begin(), present_.end(), std::uint8_t{0});
+    for (T& slot : slots_) slot = T{};
+    count_ = 0;
   }
 
   /// Remove the entry (no-op when absent).

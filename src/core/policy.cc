@@ -57,22 +57,22 @@ const std::vector<PlacementPolicy>& all_policies() {
   return policies;
 }
 
-std::unique_ptr<sim::Machine> build_policy_machine(
-    PlacementPolicy policy, std::uint64_t deployment_seed, bool partitioned) {
-  auto rng = std::make_shared<rng::XorShift64Star>(
-      rng::derive_seed(deployment_seed, 0xF00D));
-  auto machine =
-      std::make_unique<sim::Machine>(config_for(policy), std::move(rng));
+std::uint64_t policy_machine_rng_seed(std::uint64_t deployment_seed) {
+  return rng::derive_seed(deployment_seed, 0xF00D);
+}
 
+void configure_policy_machine(sim::Machine& machine,
+                              std::uint64_t deployment_seed,
+                              bool partitioned) {
   // Per-process unique seeds, fixed for the run (every design's strongest
   // non-reseeding configuration; modulo ignores them).
   for (const ProcId proc : {kMatrixVictim, kMatrixAttacker}) {
-    machine->hierarchy().set_seed(
+    machine.hierarchy().set_seed(
         proc, Seed{rng::derive_seed(deployment_seed, 0xA7C0 + proc.value)});
   }
 
   if (partitioned) {
-    sim::Hierarchy& h = machine->hierarchy();
+    sim::Hierarchy& h = machine.hierarchy();
     for (cache::Cache* level : {&h.l1d(), &h.l2()}) {
       const std::uint32_t half = level->geometry().ways() / 2;
       level->set_way_partition(kMatrixVictim, 0, half);
@@ -80,6 +80,15 @@ std::unique_ptr<sim::Machine> build_policy_machine(
                                level->geometry().ways() - half);
     }
   }
+}
+
+std::unique_ptr<sim::Machine> build_policy_machine(
+    PlacementPolicy policy, std::uint64_t deployment_seed, bool partitioned) {
+  auto rng = std::make_shared<rng::XorShift64Star>(
+      policy_machine_rng_seed(deployment_seed));
+  auto machine =
+      std::make_unique<sim::Machine>(config_for(policy), std::move(rng));
+  configure_policy_machine(*machine, deployment_seed, partitioned);
   return machine;
 }
 

@@ -59,4 +59,20 @@ inline constexpr ProcId kMatrixAttacker{2};
 [[nodiscard]] std::unique_ptr<sim::Machine> build_policy_machine(
     PlacementPolicy policy, std::uint64_t deployment_seed, bool partitioned);
 
+/// The machine-rng seed build_policy_machine derives from a deployment
+/// seed.  Exposed so pooled reuse (runner::MachinePool) can reset a machine
+/// to exactly the state construction would produce.
+[[nodiscard]] std::uint64_t policy_machine_rng_seed(
+    std::uint64_t deployment_seed);
+
+/// Apply the deployment configuration of build_policy_machine to an
+/// existing machine of the matching policy: per-process unique seeds
+/// derived from `deployment_seed`, then the optional way partitioning.
+/// Precondition for bit-exact fresh semantics: the machine was just
+/// constructed for this policy, or Machine::reset(
+/// policy_machine_rng_seed(deployment_seed)) ran first.
+void configure_policy_machine(sim::Machine& machine,
+                              std::uint64_t deployment_seed,
+                              bool partitioned);
+
 }  // namespace tsc::core

@@ -60,6 +60,14 @@ Setup::Setup(SetupKind kind, std::uint64_t master_seed,
   machine_ = std::make_unique<sim::Machine>(config_for(kind), std::move(rng));
 }
 
+void Setup::reset(std::uint64_t master_seed,
+                  std::uint64_t shared_layout_seed) {
+  master_seed_ = master_seed;
+  shared_layout_seed_ = shared_layout_seed;
+  hyperperiod_jobs_ = kDefaultHyperperiodJobs;
+  machine_->reset(rng::derive_seed(master_seed, 0xF00D));
+}
+
 Seed Setup::initial_seed_for(ProcId proc) const {
   switch (kind_) {
     case SetupKind::kDeterministic:

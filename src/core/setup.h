@@ -48,6 +48,14 @@ class Setup {
   Setup(SetupKind kind, std::uint64_t master_seed,
         std::uint64_t shared_layout_seed = 0);
 
+  /// Re-deploy this Setup in place as if freshly constructed with the given
+  /// seeds: the machine resets (empty caches, reseeded rng, time zero) and
+  /// the hyperperiod length returns to its default.  With
+  /// register_process() re-invoked per process, behavior is bit-exact
+  /// versus a fresh Setup(kind(), master_seed, shared_layout_seed) - the
+  /// pooling contract runner::MachinePool builds on.
+  void reset(std::uint64_t master_seed, std::uint64_t shared_layout_seed = 0);
+
   /// Register a process and install its initial placement seed according to
   /// the setup's policy (without timing cost; initialization happens before
   /// the system starts).
@@ -59,7 +67,10 @@ class Setup {
   /// Other setups: no action.  Timing cost is charged to the machine.
   void before_job(ProcId proc, std::uint64_t job);
 
-  /// Jobs per hyperperiod for the TSCache reseed policy (default 4096).
+  /// Default TSCache reseed cadence (jobs per hyperperiod).
+  static constexpr std::uint64_t kDefaultHyperperiodJobs = 4096;
+
+  /// Jobs per hyperperiod for the TSCache reseed policy.
   void set_hyperperiod_jobs(std::uint64_t jobs) { hyperperiod_jobs_ = jobs; }
   [[nodiscard]] std::uint64_t hyperperiod_jobs() const {
     return hyperperiod_jobs_;
@@ -80,7 +91,7 @@ class Setup {
   SetupKind kind_;
   std::uint64_t master_seed_;
   std::uint64_t shared_layout_seed_;
-  std::uint64_t hyperperiod_jobs_ = 4096;
+  std::uint64_t hyperperiod_jobs_ = kDefaultHyperperiodJobs;
   std::unique_ptr<sim::Machine> machine_;
 };
 

@@ -1,51 +1,102 @@
 #include "isa/interpreter.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tsc::isa {
 
-const SparseMemory::Page* SparseMemory::page_of(Addr a) const {
-  const auto it = pages_.find(a / kPageBytes);
-  return it == pages_.end() ? nullptr : it->second.get();
+const std::uint32_t* SparseMemory::word_of_slow(Addr a) const {
+  const Addr page_no = a / kPageBytes;
+  const auto it = pages_.find(page_no);
+  if (it == pages_.end()) return nullptr;
+  // Install the direct-mapped slot so the next access to this page is one
+  // tag compare (observationally pure: the page contents do not change).
+  Slot& slot = slots_[page_no % kSlots];
+  slot.tag = page_no + 1;
+  slot.words = it->second->data();
+  return slot.words + (a % kPageBytes) / 4;
 }
 
-SparseMemory::Page& SparseMemory::page_for(Addr a) {
-  auto& slot = pages_[a / kPageBytes];
-  if (slot == nullptr) slot = std::make_unique<Page>();
-  return *slot;
+std::uint32_t& SparseMemory::word_for_slow(Addr a) {
+  const Addr page_no = a / kPageBytes;
+  std::unique_ptr<Page>& page = pages_[page_no];
+  if (page == nullptr) page = std::make_unique<Page>();
+  Slot& slot = slots_[page_no % kSlots];
+  slot.tag = page_no + 1;
+  slot.words = page->data();
+  return slot.words[(a % kPageBytes) / 4];
 }
 
 std::uint8_t SparseMemory::load8(Addr a) const {
-  const Page* page = page_of(a);
-  return page == nullptr ? 0 : (*page)[a % kPageBytes];
+  const std::uint32_t* w = word_of(a & ~Addr{3});
+  return w == nullptr
+             ? 0
+             : static_cast<std::uint8_t>(*w >> (8 * (a & 3)));
 }
 
 void SparseMemory::store8(Addr a, std::uint8_t v) {
-  page_for(a)[a % kPageBytes] = v;
+  std::uint32_t& w = word_for(a & ~Addr{3});
+  const unsigned shift = 8 * static_cast<unsigned>(a & 3);
+  w = (w & ~(0xFFu << shift)) | (std::uint32_t{v} << shift);
 }
 
-std::uint32_t SparseMemory::load32(Addr a) const {
+std::uint32_t SparseMemory::load32_unaligned(Addr a) const {
   return static_cast<std::uint32_t>(load8(a)) |
          (static_cast<std::uint32_t>(load8(a + 1)) << 8) |
          (static_cast<std::uint32_t>(load8(a + 2)) << 16) |
          (static_cast<std::uint32_t>(load8(a + 3)) << 24);
 }
 
-void SparseMemory::store32(Addr a, std::uint32_t v) {
+void SparseMemory::store32_unaligned(Addr a, std::uint32_t v) {
   store8(a, static_cast<std::uint8_t>(v));
   store8(a + 1, static_cast<std::uint8_t>(v >> 8));
   store8(a + 2, static_cast<std::uint8_t>(v >> 16));
   store8(a + 3, static_cast<std::uint8_t>(v >> 24));
 }
 
+void SparseMemory::clear() {
+  for (auto& [page_no, page] : pages_) page->fill(0);
+  // Slots stay valid: they alias the same (now zeroed) pages.
+}
+
 void Interpreter::load_program(const Program& program) {
   for (std::size_t i = 0; i < program.words.size(); ++i) {
     memory_.store32(program.base + 4 * i, program.words[i]);
   }
+  code_base_ = program.base;
+  code_span_ = 4 * program.words.size();
+  code_.resize(program.words.size());
+  for (std::size_t i = 0; i < program.words.size(); ++i) {
+    const auto decoded = decode(program.words[i]);
+    code_[i].ok = decoded.has_value();
+    if (decoded.has_value()) code_[i].in = *decoded;
+  }
 }
+
+void Interpreter::refresh_code(Addr a, std::size_t n) {
+  const Addr begin = std::max(a, code_base_);
+  const Addr end = std::min(a + n, code_base_ + code_span_);
+  for (Addr word = (begin - code_base_) / 4;
+       word * 4 + code_base_ < end && word < code_.size(); ++word) {
+    const auto decoded = decode(memory_.load32(code_base_ + 4 * word));
+    code_[word].ok = decoded.has_value();
+    code_[word].in = decoded.value_or(Instr{});
+  }
+}
+
+void Interpreter::poke32(Addr a, std::uint32_t v) { store32_sync(a, v); }
 
 void Interpreter::poke_bytes(Addr a, const std::uint8_t* data, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) memory_.store8(a + i, data[i]);
+  if (touches_code(a, n)) [[unlikely]] refresh_code(a, n);
+}
+
+void Interpreter::reset() {
+  memory_.clear();
+  regs_.fill(0);
+  code_base_ = 0;
+  code_span_ = 0;
+  code_.clear();
 }
 
 void Interpreter::set_reg(unsigned index, std::uint32_t value) {
@@ -54,18 +105,40 @@ void Interpreter::set_reg(unsigned index, std::uint32_t value) {
 }
 
 RunResult Interpreter::run(Addr entry, std::uint64_t max_steps) {
+  return run_loop<true>(entry, max_steps);
+}
+
+RunResult Interpreter::run_reference(Addr entry, std::uint64_t max_steps) {
+  return run_loop<false>(entry, max_steps);
+}
+
+template <bool kUseDecodeCache>
+RunResult Interpreter::run_loop(Addr entry, std::uint64_t max_steps) {
   const Cycles start_cycles = machine_.now();
   RunResult result;
   Addr pc = entry;
 
   while (result.steps < max_steps) {
-    const std::uint32_t word = memory_.load32(pc);
-    const auto decoded = decode(word);
-    if (!decoded.has_value()) {
+    Instr in;
+    bool ok;
+    if constexpr (kUseDecodeCache) {
+      // One bounds check selects the pre-decoded instruction; anything
+      // outside the image (or unaligned) decodes from memory, bit-exactly.
+      const Addr off = pc - code_base_;  // wraps huge when pc < code_base_
+      if (off < code_span_ && (off & 3u) == 0) [[likely]] {
+        const CachedInstr& cached = code_[off / 4];
+        ok = cached.ok;
+        in = cached.in;
+      } else {
+        ok = fetch_decode(pc, in);
+      }
+    } else {
+      ok = fetch_decode(pc, in);
+    }
+    if (!ok) [[unlikely]] {
       result.reason = StopReason::kBadInstruction;
       break;
     }
-    const Instr in = *decoded;
     ++result.steps;
 
     const std::uint32_t a = regs_[in.rs1];
@@ -132,13 +205,13 @@ RunResult Interpreter::run(Addr entry, std::uint64_t max_steps) {
       case Op::kSw: {
         const Addr ea = a + imm;
         machine_.store(pc, ea);
-        memory_.store32(ea, regs_[in.rd]);
+        store32_sync(ea, regs_[in.rd]);
         break;
       }
       case Op::kSb: {
         const Addr ea = a + imm;
         machine_.store(pc, ea);
-        memory_.store8(ea, static_cast<std::uint8_t>(regs_[in.rd]));
+        store8_sync(ea, static_cast<std::uint8_t>(regs_[in.rd]));
         break;
       }
 

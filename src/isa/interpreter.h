@@ -4,12 +4,29 @@
 // counter's real address; loads and stores go through the L1D; taken
 // branches pay the pipeline bubble.  Data lives in a sparse paged memory so
 // programs can use the full 32-bit address space without preallocating it.
+//
+// Hot-path layout (this drives every MBPTA run of the campaign layer):
+//
+//  * load_program() pre-decodes the program image into a PC-indexed
+//    instruction vector; the fetch/dispatch loop consults it with one
+//    bounds check per step and falls back to decoding from memory only for
+//    PCs outside the image (or unaligned ones).  Stores and pokes that
+//    land inside the image re-decode the overwritten words, so
+//    self-modifying code behaves exactly like the memory-decode path;
+//  * data memory is word-granular: 4KB pages of 32-bit words reached
+//    through a direct-mapped page-pointer table (one tag compare per
+//    aligned word access, the hash map only on slot misses).  Unaligned
+//    and cross-page accesses take the byte path, which is bit-compatible;
+//  * reset() returns registers, memory and the decode cache to a fresh
+//    state while keeping every allocation, so pooled per-run machines
+//    (runner::MachinePool) stop paying construction per MBPTA run.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "isa/assembler.h"
@@ -17,22 +34,75 @@
 
 namespace tsc::isa {
 
-/// Sparse byte-addressable memory (4KB pages, zero-initialized).
+/// Sparse byte-addressable memory (4KB zero-initialized pages of words).
 class SparseMemory {
  public:
   [[nodiscard]] std::uint8_t load8(Addr a) const;
   void store8(Addr a, std::uint8_t v);
-  [[nodiscard]] std::uint32_t load32(Addr a) const;  ///< little-endian
-  void store32(Addr a, std::uint32_t v);
+
+  /// Little-endian word access.  Aligned accesses resolve the page with a
+  /// single direct-mapped table probe; unaligned ones assemble bytes (and
+  /// may cross pages).
+  [[nodiscard]] std::uint32_t load32(Addr a) const {
+    if ((a & 3u) == 0) [[likely]] {
+      const std::uint32_t* w = word_of(a);
+      return w == nullptr ? 0 : *w;
+    }
+    return load32_unaligned(a);
+  }
+  void store32(Addr a, std::uint32_t v) {
+    if ((a & 3u) == 0) [[likely]] {
+      word_for(a) = v;
+      return;
+    }
+    store32_unaligned(a, v);
+  }
+
+  /// Zero every byte while keeping page allocations and the slot table:
+  /// observationally a fresh zero-filled memory, but repeated runs touching
+  /// the same addresses never allocate again (pool reuse).
+  void clear();
 
  private:
   static constexpr Addr kPageBytes = 4096;
-  using Page = std::array<std::uint8_t, kPageBytes>;
+  static constexpr Addr kPageWords = kPageBytes / 4;
+  static constexpr std::size_t kSlots = 256;  ///< direct-mapped page table
+  using Page = std::array<std::uint32_t, kPageWords>;
 
-  [[nodiscard]] const Page* page_of(Addr a) const;
-  [[nodiscard]] Page& page_for(Addr a);
+  /// One entry of the direct-mapped page-pointer table.  `tag` is the page
+  /// number + 1 so the zero-initialized table is empty; `words` aliases the
+  /// page owned by `pages_` (stable: pages are unique_ptr-held).
+  struct Slot {
+    Addr tag = 0;
+    std::uint32_t* words = nullptr;
+  };
+
+  /// Word pointer for an aligned address, nullptr when the page does not
+  /// exist (reads as zero).  Slot installs are observationally pure.
+  [[nodiscard]] const std::uint32_t* word_of(Addr a) const {
+    const Addr page_no = a / kPageBytes;
+    const Slot& slot = slots_[page_no % kSlots];
+    if (slot.tag == page_no + 1) [[likely]] {
+      return slot.words + (a % kPageBytes) / 4;
+    }
+    return word_of_slow(a);
+  }
+  /// Word reference for an aligned address, creating the page on demand.
+  [[nodiscard]] std::uint32_t& word_for(Addr a) {
+    const Addr page_no = a / kPageBytes;
+    const Slot& slot = slots_[page_no % kSlots];
+    if (slot.tag == page_no + 1) [[likely]] {
+      return slot.words[(a % kPageBytes) / 4];
+    }
+    return word_for_slow(a);
+  }
+  [[nodiscard]] const std::uint32_t* word_of_slow(Addr a) const;
+  [[nodiscard]] std::uint32_t& word_for_slow(Addr a);
+  [[nodiscard]] std::uint32_t load32_unaligned(Addr a) const;
+  void store32_unaligned(Addr a, std::uint32_t v);
 
   std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  mutable std::array<Slot, kSlots> slots_{};
 };
 
 /// Why execution stopped.
@@ -51,17 +121,31 @@ class Interpreter {
  public:
   explicit Interpreter(sim::Machine& machine) : machine_(machine) {}
 
-  /// Copy a program image into memory (words become little-endian bytes).
+  /// Copy a program image into memory (words become little-endian bytes)
+  /// and pre-decode it into the PC-indexed decode cache consulted by run().
+  /// A second load_program replaces the decode cache; the previous image
+  /// stays in memory and executes through the memory-decode fallback.
   void load_program(const Program& program);
 
   /// Write a data block into simulated memory (no timing cost: models
-  /// initialized data sections present at boot).
+  /// initialized data sections present at boot).  Writes that overlap the
+  /// pre-decoded image update the decode cache.
   void poke_bytes(Addr a, const std::uint8_t* data, std::size_t n);
-  void poke32(Addr a, std::uint32_t v) { memory_.store32(a, v); }
+  void poke32(Addr a, std::uint32_t v);
   [[nodiscard]] std::uint32_t peek32(Addr a) const { return memory_.load32(a); }
 
-  /// Run from `entry` until HALT, a bad instruction, or `max_steps`.
+  /// Run from `entry` until HALT, a bad instruction, or `max_steps`,
+  /// fetching through the decode cache (bit-exact with run_reference).
   RunResult run(Addr entry, std::uint64_t max_steps = 10'000'000);
+
+  /// Reference semantics: decode every instruction from memory, one fetch
+  /// per step - the pre-overhaul execution path, kept as the equivalence
+  /// oracle for the decode cache (tests) and for debugging.
+  RunResult run_reference(Addr entry, std::uint64_t max_steps = 10'000'000);
+
+  /// Zero registers, data memory and the decode cache - a fresh interpreter
+  /// over the same machine, with every allocation retained (pool reuse).
+  void reset();
 
   [[nodiscard]] std::uint32_t reg(unsigned index) const {
     return regs_.at(index);
@@ -72,9 +156,53 @@ class Interpreter {
   [[nodiscard]] sim::Machine& machine() { return machine_; }
 
  private:
+  /// A pre-decoded instruction; `ok` is false for undecodable words (the
+  /// fast path reports kBadInstruction exactly like the reference decode).
+  struct CachedInstr {
+    Instr in;
+    bool ok = false;
+  };
+
+  /// The shared fetch/dispatch loop; the template parameter selects the
+  /// decode-cache fetch or the reference memory decode.
+  template <bool kUseDecodeCache>
+  RunResult run_loop(Addr entry, std::uint64_t max_steps);
+
+  /// The one memory-decode fallback both loops share: decode the word at
+  /// `pc` into `out`; false means an undecodable instruction.
+  [[nodiscard]] bool fetch_decode(Addr pc, Instr& out) const {
+    const auto decoded = decode(memory_.load32(pc));
+    if (!decoded.has_value()) return false;
+    out = *decoded;
+    return true;
+  }
+
+  /// Re-decode the cached words overlapping [a, a + n) after a memory
+  /// write into the program image.
+  void refresh_code(Addr a, std::size_t n);
+  /// Every functional single-word/byte memory write funnels through these,
+  /// which keep the decode cache coherent with memory (poke_bytes batches
+  /// the same guard over its whole range).
+  void store32_sync(Addr a, std::uint32_t v) {
+    memory_.store32(a, v);
+    if (touches_code(a, 4)) [[unlikely]] refresh_code(a, 4);
+  }
+  void store8_sync(Addr a, std::uint8_t v) {
+    memory_.store8(a, v);
+    if (touches_code(a, 1)) [[unlikely]] refresh_code(a, 1);
+  }
+  /// Does [a, a + n) overlap the pre-decoded image?
+  [[nodiscard]] bool touches_code(Addr a, std::size_t n) const {
+    return code_span_ != 0 && a < code_base_ + code_span_ &&
+           a + n > code_base_;
+  }
+
   sim::Machine& machine_;
   SparseMemory memory_;
   std::array<std::uint32_t, 16> regs_{};
+  Addr code_base_ = 0;
+  Addr code_span_ = 0;  ///< bytes covered by the decode cache
+  std::vector<CachedInstr> code_;
 };
 
 }  // namespace tsc::isa

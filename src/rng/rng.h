@@ -36,6 +36,12 @@ class Rng {
   /// Next 64 uniformly distributed bits.
   [[nodiscard]] virtual std::uint64_t next_u64() = 0;
 
+  /// Reinstall `seed` exactly as the generator's constructor would: after
+  /// reseed(s) the output stream is bit-identical to a fresh instance built
+  /// with seed s.  This is what lets pooled machines (runner::MachinePool)
+  /// replay the fresh-machine protocol without reconstructing anything.
+  virtual void reseed(std::uint64_t seed) = 0;
+
   /// Human-readable generator name (for experiment logs).
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -76,6 +82,8 @@ class SplitMix64 final : public Rng {
  public:
   explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
+  void reseed(std::uint64_t seed) override { state_ = seed; }
+
   [[nodiscard]] std::uint64_t next_u64() override {
     std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -95,6 +103,10 @@ class XorShift64Star final : public Rng {
  public:
   explicit XorShift64Star(std::uint64_t seed)
       : state_(seed != 0 ? seed : 0x853C49E6748FEA9BULL) {}
+
+  void reseed(std::uint64_t seed) override {
+    state_ = seed != 0 ? seed : 0x853C49E6748FEA9BULL;
+  }
 
   [[nodiscard]] std::uint64_t next_u64() override {
     std::uint64_t x = state_;
@@ -116,6 +128,12 @@ class Pcg32 final : public Rng {
  public:
   explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0x14057B7EF767814FULL)
       : state_(0), inc_((stream << 1) | 1) {
+    reseed(seed);
+  }
+
+  /// Reinstalls `seed` on the generator's existing stream (`inc_`).
+  void reseed(std::uint64_t seed) override {
+    state_ = 0;
     (void)step();
     state_ += seed;
     (void)step();
@@ -148,8 +166,10 @@ class Pcg32 final : public Rng {
 /// register and four XOR gates.  next_u64 concatenates four 16-bit steps.
 class Lfsr16 final : public Rng {
  public:
-  explicit Lfsr16(std::uint64_t seed)
-      : state_(static_cast<std::uint16_t>(seed != 0 ? seed : 0xACE1u)) {
+  explicit Lfsr16(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) override {
+    state_ = static_cast<std::uint16_t>(seed != 0 ? seed : 0xACE1u);
     if (state_ == 0) state_ = 0xACE1u;
   }
 

@@ -26,6 +26,12 @@ void Hierarchy::set_seed(ProcId proc, Seed master) {
   }
 }
 
+void Hierarchy::reset() {
+  l1i_->reset();
+  l1d_->reset();
+  if (l2_ != nullptr) l2_->reset();
+}
+
 std::uint64_t Hierarchy::flush_all() {
   std::uint64_t lines = l1i_->flush() + l1d_->flush();
   if (l2_ != nullptr) lines += l2_->flush();

@@ -68,6 +68,21 @@ class Hierarchy {
     return result;
   }
 
+  /// `count` repeated instruction fetches of `pc`, back to back: when the
+  /// line is resident in the L1I, account them as the guaranteed L1 hits
+  /// they are (Cache::try_repeat_hit) and return true; otherwise change
+  /// nothing and return false so the caller replays per instruction.  Each
+  /// batched fetch costs exactly `latency().l1_hit`, the same as access()
+  /// would report; the Machine adds the cycles.
+  bool repeat_instr_hits(ProcId proc, Addr pc, std::uint64_t count) {
+    return l1i_->try_repeat_hit(proc, pc, count);
+  }
+
+  /// Reset all levels to their just-constructed state (lines, replacement
+  /// metadata, per-process seeds, partitions, stats) without reallocating.
+  /// Part of the Machine::reset pooling contract.
+  void reset();
+
   /// Install a process's master seed; each cache level receives an
   /// independently derived seed.  Returns nothing; timing cost is accounted
   /// by the Machine.

@@ -5,7 +5,15 @@
 namespace tsc::sim {
 
 Machine::Machine(HierarchyConfig config, std::shared_ptr<rng::Rng> rng)
-    : hierarchy_(std::move(config), std::move(rng)) {}
+    : hierarchy_(std::move(config), rng), rng_(std::move(rng)) {}
+
+void Machine::reset(std::uint64_t rng_seed) {
+  if (rng_ != nullptr) rng_->reseed(rng_seed);
+  hierarchy_.reset();
+  proc_ = ProcId{1};
+  now_ = 0;
+  stats_ = MachineStats{};
+}
 
 void Machine::run(std::span<const AccessRecord> batch) {
   // With instr/load/store/branch inline, this compiles into one tight

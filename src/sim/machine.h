@@ -89,8 +89,34 @@ class Machine {
   }
 
   /// `n` sequential non-memory instructions starting at `pc`, 4 bytes each.
+  /// Exactly equivalent to n instr() calls, but fetches that share the
+  /// first instruction's cache line are accounted in one batch: nothing
+  /// intervenes between them, so once the line is resident they are
+  /// guaranteed L1I hits (1 cycle each, replacement touch idempotent).
+  /// When the first fetch leaves the line non-resident (secure contention /
+  /// random fill declined to allocate), the rest of the line replays per
+  /// instruction, preserving exact cycle and stat results.
   void instr_block(Addr pc, unsigned n) {
-    for (unsigned i = 0; i < n; ++i) instr(pc + 4 * i);
+    const Addr line_mask = hierarchy_.l1i().geometry().line_bytes() - 1;
+    while (n > 0) {
+      const Addr first = pc;
+      instr(pc);
+      pc += 4;
+      --n;
+      const Addr in_line = (line_mask - (first & line_mask)) >> 2;
+      const unsigned k =
+          n < in_line ? n : static_cast<unsigned>(in_line);
+      if (k == 0) continue;
+      if (hierarchy_.repeat_instr_hits(proc_, first, k)) [[likely]] {
+        stats_.instructions += k;
+        now_ += k;  // k issue cycles, zero stall beyond the L1I hit
+        pc += 4 * static_cast<Addr>(k);
+        n -= k;
+      } else {
+        for (unsigned i = 0; i < k; ++i, pc += 4) instr(pc);
+        n -= k;
+      }
+    }
   }
 
   /// Load instruction at `pc` reading `ea`.
@@ -137,6 +163,14 @@ class Machine {
   /// Advance time without executing (idle / external delay).
   void advance(Cycles cycles) { now_ += cycles; }
 
+  /// Return the machine to its just-constructed state with the rng reseeded
+  /// to `rng_seed`: empty caches, default-seed mappings, time zero, zero
+  /// stats, process 1.  Bit-exact with constructing a fresh Machine from
+  /// the same config and a fresh rng(rng_seed), but reusing every
+  /// allocation - the MachinePool contract behind the MBPTA fresh-machine
+  /// protocols.
+  void reset(std::uint64_t rng_seed);
+
   [[nodiscard]] Cycles now() const { return now_; }
   [[nodiscard]] const MachineStats& stats() const { return stats_; }
   [[nodiscard]] Hierarchy& hierarchy() { return hierarchy_; }
@@ -148,6 +182,7 @@ class Machine {
 
  private:
   Hierarchy hierarchy_;
+  std::shared_ptr<rng::Rng> rng_;  ///< shared with the caches; reset() reseeds
   ProcId proc_{1};
   Cycles now_ = 0;
   MachineStats stats_;

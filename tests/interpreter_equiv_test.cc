@@ -1,0 +1,261 @@
+// Equivalence tests for the pre-decoded execution engine.
+//
+// Interpreter::run fetches through a PC-indexed decode cache and the flat
+// word-granular memory; Interpreter::run_reference decodes every step from
+// memory - the pre-overhaul path.  The two must agree bit-exactly on every
+// kernel: RunResult (reason, steps, cycles), machine time and event
+// counters, and the per-cache hit/miss statistics.  Also covered: the
+// decode cache under self-modifying stores and pokes, out-of-image PCs,
+// and the SparseMemory byte/word paths (alignment, page crossing, clear).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "isa/kernels.h"
+#include "rng/rng.h"
+#include "sim/machine.h"
+
+namespace tsc::isa {
+namespace {
+
+/// The paper platform (MBPTA/TSCache cache design), fully seeded.
+sim::Machine paper_machine(std::uint64_t seed) {
+  sim::Machine machine(
+      sim::arm920t_config(cache::MapperKind::kRandomModulo,
+                          cache::MapperKind::kHashRp,
+                          cache::ReplacementKind::kRandom),
+      std::make_shared<rng::XorShift64Star>(seed));
+  machine.hierarchy().set_seed(ProcId{1}, Seed{rng::derive_seed(seed, 1)});
+  machine.set_process(ProcId{1});
+  return machine;
+}
+
+void expect_same_cache_stats(const cache::CacheStats& a,
+                             const cache::CacheStats& b,
+                             const std::string& level) {
+  EXPECT_EQ(a.accesses, b.accesses) << level;
+  EXPECT_EQ(a.hits, b.hits) << level;
+  EXPECT_EQ(a.misses, b.misses) << level;
+  EXPECT_EQ(a.evictions, b.evictions) << level;
+  EXPECT_EQ(a.writebacks, b.writebacks) << level;
+  EXPECT_EQ(a.contention_evictions, b.contention_evictions) << level;
+}
+
+/// Run `source` through the decode-cache path on one machine and the
+/// reference decode loop on an identically seeded twin; every observable
+/// must match.
+void expect_paths_equivalent(const std::string& source,
+                             std::uint64_t max_steps = 10'000'000) {
+  sim::Machine fast_machine = paper_machine(99);
+  sim::Machine ref_machine = paper_machine(99);
+  Interpreter fast(fast_machine);
+  Interpreter ref(ref_machine);
+  const Program program = assemble(source, 0x1000);
+  fast.load_program(program);
+  ref.load_program(program);
+
+  for (int pass = 0; pass < 2; ++pass) {  // cold then warm
+    const RunResult a = fast.run(0x1000, max_steps);
+    const RunResult b = ref.run_reference(0x1000, max_steps);
+    EXPECT_EQ(static_cast<int>(a.reason), static_cast<int>(b.reason));
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.cycles, b.cycles);
+  }
+  EXPECT_EQ(fast_machine.now(), ref_machine.now());
+  const sim::MachineStats& sa = fast_machine.stats();
+  const sim::MachineStats& sb = ref_machine.stats();
+  EXPECT_EQ(sa.instructions, sb.instructions);
+  EXPECT_EQ(sa.loads, sb.loads);
+  EXPECT_EQ(sa.stores, sb.stores);
+  EXPECT_EQ(sa.branches, sb.branches);
+  EXPECT_EQ(sa.taken_branches, sb.taken_branches);
+  expect_same_cache_stats(fast_machine.hierarchy().l1i().stats(),
+                          ref_machine.hierarchy().l1i().stats(), "L1I");
+  expect_same_cache_stats(fast_machine.hierarchy().l1d().stats(),
+                          ref_machine.hierarchy().l1d().stats(), "L1D");
+  expect_same_cache_stats(fast_machine.hierarchy().l2().stats(),
+                          ref_machine.hierarchy().l2().stats(), "L2");
+  // Functional state too: registers.
+  for (unsigned r = 0; r < 16; ++r) {
+    EXPECT_EQ(fast.reg(r), ref.reg(r)) << "r" << r;
+  }
+}
+
+TEST(InterpreterEquivalence, EveryKernelMatchesReferenceDecode) {
+  expect_paths_equivalent(vector_sum_source(0x40000, 5120));
+  expect_paths_equivalent(memcpy_source(0x40000, 0x60000, 2048));
+  expect_paths_equivalent(bubble_sort_source(0x40000, 256), 50'000'000);
+  expect_paths_equivalent(matmul_source(0x40000, 0x50000, 0x60000, 24),
+                          50'000'000);
+  expect_paths_equivalent(stride_walk_source(0x40000, 8192, 64, 32768),
+                          50'000'000);
+}
+
+TEST(InterpreterEquivalence, BadInstructionAndStepLimitMatch) {
+  // An undecodable word inside the pre-decoded image (the cached !ok path
+  // vs the reference decode failure).
+  expect_paths_equivalent("addi r1, r0, 1\n.word 0xFFFFFFFF\n", 100);
+  // Runaway loop cut by the step limit.
+  expect_paths_equivalent("loop: addi r1, r1, 1\njal r0, loop\n", 1000);
+}
+
+TEST(InterpreterEquivalence, SelfModifyingStorePatchesTheDecodeCache) {
+  // The program overwrites its own `target` instruction (a nop heading an
+  // infinite loop) with the HALT word stored in its data tail.  A stale
+  // decode cache would spin to the step limit; a coherent one halts -
+  // exactly like the reference path.
+  //
+  // Image layout (base 0x1000, one word per line except la = 2):
+  //   0x1000  la  r1, 0x1000        (words 0-1)
+  //   0x1008  lw  r2, 24(r1)        ; the .word below
+  //   0x100C  sw  r2, 16(r1)        ; patches `target`
+  //   0x1010  target: nop
+  //   0x1014  jal r0, target
+  //   0x1018  .word <halt encoding>
+  const std::uint32_t halt_word = encode(Instr{Op::kHalt, 0, 0, 0, 0});
+  const std::string source =
+      "        la   r1, 0x1000\n"
+      "        lw   r2, 24(r1)\n"
+      "        sw   r2, 16(r1)\n"
+      "target: nop\n"
+      "        jal  r0, target\n"
+      "        .word " + std::to_string(halt_word) + "\n";
+  {
+    sim::Machine m = paper_machine(7);
+    Interpreter interp(m);
+    interp.load_program(assemble(source, 0x1000));
+    const RunResult r = interp.run(0x1000, 100);
+    EXPECT_EQ(r.reason, StopReason::kHalt)
+        << "decode cache missed the self-modifying store";
+    EXPECT_EQ(r.steps, 5u);  // la(2) + lw + sw + patched halt
+  }
+  expect_paths_equivalent(source, 100);
+}
+
+TEST(InterpreterEquivalence, PokeIntoTheImageRefreshesTheDecodeCache) {
+  sim::Machine m = paper_machine(8);
+  Interpreter interp(m);
+  interp.load_program(assemble("nop\nnop\nhalt\n", 0x1000));
+  // Overwrite the second nop with an addi via poke32.
+  interp.poke32(0x1004, encode(Instr{Op::kAddi, 3, 0, 0, 42}));
+  (void)interp.run(0x1000, 10);
+  EXPECT_EQ(interp.reg(3), 42u);
+  // And back to a halt via poke_bytes.
+  const std::uint32_t halt_word = encode(Instr{Op::kHalt, 0, 0, 0, 0});
+  std::uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(halt_word >> (8 * i));
+  }
+  interp.poke_bytes(0x1004, bytes, 4);
+  const RunResult r = interp.run(0x1000, 10);
+  EXPECT_EQ(r.reason, StopReason::kHalt);
+  EXPECT_EQ(r.steps, 2u);
+}
+
+TEST(InterpreterEquivalence, OutOfImagePcsDecodeFromMemory) {
+  sim::Machine m = paper_machine(9);
+  Interpreter interp(m);
+  // A halt poked far outside any loaded image runs via the memory-decode
+  // fallback...
+  interp.poke32(0x5000, encode(Instr{Op::kHalt, 0, 0, 0, 0}));
+  EXPECT_EQ(interp.run(0x5000, 10).reason, StopReason::kHalt);
+  // ...including when a pre-decoded program jumps into it.
+  interp.load_program(assemble("la r1, 0x5000\njalr r0, r1\n", 0x1000));
+  const RunResult r = interp.run(0x1000, 10);
+  EXPECT_EQ(r.reason, StopReason::kHalt);
+  EXPECT_EQ(r.steps, 4u);  // la (2) + jalr + halt
+}
+
+// --- SparseMemory ----------------------------------------------------------
+
+TEST(SparseMemoryTest, AlignedWordRoundTripAndByteView) {
+  SparseMemory mem;
+  mem.store32(0x2000, 0x11223344u);
+  EXPECT_EQ(mem.load32(0x2000), 0x11223344u);
+  // Little-endian byte view of the word path.
+  EXPECT_EQ(mem.load8(0x2000), 0x44u);
+  EXPECT_EQ(mem.load8(0x2001), 0x33u);
+  EXPECT_EQ(mem.load8(0x2002), 0x22u);
+  EXPECT_EQ(mem.load8(0x2003), 0x11u);
+  // Byte stores read back through the word path.
+  mem.store8(0x2001, 0xAB);
+  EXPECT_EQ(mem.load32(0x2000), 0x1122AB44u);
+}
+
+TEST(SparseMemoryTest, UnalignedAndPageCrossingAccesses) {
+  SparseMemory mem;
+  // Straddles the 4KB page boundary at 0x1000.
+  mem.store32(0xFFE, 0xDEADBEEFu);
+  EXPECT_EQ(mem.load32(0xFFE), 0xDEADBEEFu);
+  EXPECT_EQ(mem.load8(0xFFE), 0xEFu);
+  EXPECT_EQ(mem.load8(0xFFF), 0xBEu);
+  EXPECT_EQ(mem.load8(0x1000), 0xADu);
+  EXPECT_EQ(mem.load8(0x1001), 0xDEu);
+  // The aligned words containing the halves agree with the byte writes.
+  EXPECT_EQ(mem.load32(0xFFC), 0xBEEF0000u);
+  EXPECT_EQ(mem.load32(0x1000), 0x0000DEADu);
+  // Unaligned load within one page.
+  mem.store32(0x3000, 0x04030201u);
+  mem.store32(0x3004, 0x08070605u);
+  EXPECT_EQ(mem.load32(0x3001), 0x05040302u);
+}
+
+TEST(SparseMemoryTest, UntouchedMemoryReadsZeroAndClearRestoresIt) {
+  SparseMemory mem;
+  EXPECT_EQ(mem.load32(0x1234 * 4096), 0u);
+  EXPECT_EQ(mem.load8(77), 0u);
+  mem.store32(0x4000, 1);
+  mem.store32(0x400000, 2);  // distinct page, distinct slot
+  mem.store8(0x4000F, 3);
+  mem.clear();
+  EXPECT_EQ(mem.load32(0x4000), 0u);
+  EXPECT_EQ(mem.load32(0x400000), 0u);
+  EXPECT_EQ(mem.load8(0x4000F), 0u);
+  // Still writable after clear.
+  mem.store32(0x4000, 5);
+  EXPECT_EQ(mem.load32(0x4000), 5u);
+}
+
+TEST(SparseMemoryTest, SlotConflictsResolveThroughTheMap) {
+  // Pages 1MB apart collide in the 256-slot direct-mapped table (page
+  // numbers differ by exactly kSlots); alternating accesses must still
+  // read their own data.
+  SparseMemory mem;
+  const Addr a = 0x10000;            // page 0x10
+  const Addr b = a + 256 * 4096;     // page 0x110 -> same slot
+  mem.store32(a, 0xAAAAAAAAu);
+  mem.store32(b, 0xBBBBBBBBu);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(mem.load32(a), 0xAAAAAAAAu);
+    EXPECT_EQ(mem.load32(b), 0xBBBBBBBBu);
+  }
+}
+
+TEST(InterpreterEquivalence, ResetRestoresFreshSemantics) {
+  sim::Machine m1 = paper_machine(11);
+  sim::Machine m2 = paper_machine(11);
+  Interpreter reused(m1);
+  Interpreter fresh(m2);
+  // Dirty the reused interpreter with a different program + data.
+  reused.load_program(assemble(memcpy_source(0x40000, 0x60000, 64), 0x1000));
+  (void)reused.run(0x1000);
+  reused.reset();
+  m1.reset(123);
+  m2.reset(123);
+  const Program program = assemble(vector_sum_source(0x40000, 256), 0x1000);
+  reused.load_program(program);
+  fresh.load_program(program);
+  const RunResult a = reused.run(0x1000);
+  const RunResult b = fresh.run(0x1000);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(reused.reg(3), fresh.reg(3));
+  EXPECT_EQ(m1.now(), m2.now());
+}
+
+}  // namespace
+}  // namespace tsc::isa

@@ -1,0 +1,224 @@
+// Pooling and batching guarantees of the execution engine.
+//
+//  * Machine::reset(seed) + re-configuration must reproduce a freshly
+//    constructed machine bit-exactly (cycles, stats, rng draw order) - the
+//    MachinePool contract the MBPTA fresh-layout protocols rely on.
+//  * MachinePool reuse-vs-fresh equality on seeded layouts, for policy
+//    machines (all policies x partitioning) and Setups.
+//  * Machine::instr_block's same-line batching must yield exactly the
+//    cycles and stats of per-instruction calls, on hit-friendly and
+//    allocation-refusing (random-fill) configurations alike.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/setup.h"
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "isa/kernels.h"
+#include "rng/rng.h"
+#include "runner/machine_pool.h"
+#include "sim/machine.h"
+
+namespace tsc::runner {
+namespace {
+
+void expect_same_machine_state(sim::Machine& a, sim::Machine& b) {
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.stats().instructions, b.stats().instructions);
+  EXPECT_EQ(a.stats().loads, b.stats().loads);
+  EXPECT_EQ(a.stats().stores, b.stats().stores);
+  EXPECT_EQ(a.stats().branches, b.stats().branches);
+  EXPECT_EQ(a.stats().taken_branches, b.stats().taken_branches);
+  for (auto level : {0, 1, 2}) {
+    cache::Cache& ca = level == 0   ? a.hierarchy().l1i()
+                       : level == 1 ? a.hierarchy().l1d()
+                                    : a.hierarchy().l2();
+    cache::Cache& cb = level == 0   ? b.hierarchy().l1i()
+                       : level == 1 ? b.hierarchy().l1d()
+                                    : b.hierarchy().l2();
+    EXPECT_EQ(ca.stats().accesses, cb.stats().accesses) << "level " << level;
+    EXPECT_EQ(ca.stats().hits, cb.stats().hits) << "level " << level;
+    EXPECT_EQ(ca.stats().evictions, cb.stats().evictions) << "level " << level;
+    EXPECT_EQ(ca.stats().writebacks, cb.stats().writebacks)
+        << "level " << level;
+    EXPECT_EQ(ca.stats().contention_evictions,
+              cb.stats().contention_evictions)
+        << "level " << level;
+  }
+}
+
+/// A deterministic mixed workload exercising fetch, data, branch, reseed
+/// and flush paths.
+void drive(sim::Machine& m) {
+  m.set_process(core::kMatrixVictim);
+  for (int i = 0; i < 2000; ++i) {
+    m.instr(0x1000 + 4 * (i % 128));
+    m.load(0x2000, 0x80000 + 96 * i);
+    if (i % 3 == 0) m.store(0x2004, 0x90000 + 32 * i);
+    m.branch(0x2008, i % 5 == 0);
+  }
+  m.set_process(core::kMatrixAttacker);
+  for (int i = 0; i < 500; ++i) m.load(0x3000, 0x80000 + 96 * i);
+  m.set_seed(core::kMatrixVictim, Seed{0xABCD});
+  m.set_process(core::kMatrixVictim);
+  for (int i = 0; i < 500; ++i) m.load(0x3000, 0x80000 + 96 * i);
+  m.flush_caches();
+  for (int i = 0; i < 200; ++i) m.instr(0x1000 + 4 * i);
+}
+
+TEST(MachineReset, ReplaysFreshConstructionBitExactly) {
+  for (const core::PlacementPolicy policy : core::all_policies()) {
+    // A machine that already simulated a full (different-seed) deployment...
+    auto reused = core::build_policy_machine(policy, 111, /*partitioned=*/false);
+    drive(*reused);
+    // ...reset + reconfigured must match a genuinely fresh twin exactly.
+    reused->reset(core::policy_machine_rng_seed(222));
+    core::configure_policy_machine(*reused, 222, /*partitioned=*/false);
+    auto fresh = core::build_policy_machine(policy, 222, /*partitioned=*/false);
+    drive(*reused);
+    drive(*fresh);
+    expect_same_machine_state(*reused, *fresh);
+  }
+}
+
+TEST(MachinePoolTest, PolicyMachineReuseMatchesFreshOnSeededLayouts) {
+  const isa::Program program =
+      isa::assemble(isa::vector_sum_source(0x40000, 1024), 0x1000);
+  for (const core::PlacementPolicy policy : core::all_policies()) {
+    for (const bool partitioned : {false, true}) {
+      MachinePool pool;
+      // Dirty the slot with a full run under another deployment seed.
+      {
+        const PooledMachine lease = pool.policy_machine(policy, 7, partitioned);
+        lease.machine.set_process(core::kMatrixVictim);
+        lease.interpreter.load_program(program);
+        (void)lease.interpreter.run(0x1000);
+      }
+      // Reuse under the seed of record, against a fresh build.
+      const PooledMachine lease = pool.policy_machine(policy, 42, partitioned);
+      lease.machine.set_process(core::kMatrixVictim);
+      lease.interpreter.load_program(program);
+      const isa::RunResult warm_a = lease.interpreter.run(0x1000);
+      const isa::RunResult timed_a = lease.interpreter.run(0x1000);
+
+      auto fresh = core::build_policy_machine(policy, 42, partitioned);
+      fresh->set_process(core::kMatrixVictim);
+      isa::Interpreter interp(*fresh);
+      interp.load_program(program);
+      const isa::RunResult warm_b = interp.run(0x1000);
+      const isa::RunResult timed_b = interp.run(0x1000);
+
+      EXPECT_EQ(warm_a.cycles, warm_b.cycles)
+          << core::to_string(policy) << " partitioned=" << partitioned;
+      EXPECT_EQ(timed_a.cycles, timed_b.cycles)
+          << core::to_string(policy) << " partitioned=" << partitioned;
+      expect_same_machine_state(lease.machine, *fresh);
+    }
+  }
+}
+
+TEST(MachinePoolTest, SetupReuseMatchesFreshSetup) {
+  const isa::Program program =
+      isa::assemble(isa::vector_sum_source(0x40000, 1024), 0x1000);
+  constexpr ProcId kVictim{1};
+  for (const core::SetupKind kind : core::all_setups()) {
+    MachinePool pool;
+    {
+      const PooledSetup lease = pool.setup(kind, 5);
+      lease.setup.register_process(kVictim);
+      lease.setup.machine().set_process(kVictim);
+      lease.interpreter.load_program(program);
+      (void)lease.interpreter.run(0x1000);
+    }
+    const PooledSetup lease = pool.setup(kind, 77);
+    lease.setup.register_process(kVictim);
+    lease.setup.machine().set_process(kVictim);
+    lease.interpreter.load_program(program);
+    const double pooled_warm =
+        static_cast<double>(lease.interpreter.run(0x1000).cycles);
+    const double pooled_timed =
+        static_cast<double>(lease.interpreter.run(0x1000).cycles);
+
+    core::Setup fresh(kind, 77);
+    fresh.register_process(kVictim);
+    fresh.machine().set_process(kVictim);
+    isa::Interpreter interp(fresh.machine());
+    interp.load_program(program);
+    EXPECT_EQ(pooled_warm, static_cast<double>(interp.run(0x1000).cycles))
+        << core::to_string(kind);
+    EXPECT_EQ(pooled_timed, static_cast<double>(interp.run(0x1000).cycles))
+        << core::to_string(kind);
+    expect_same_machine_state(lease.setup.machine(), fresh.machine());
+  }
+}
+
+// --- instr_block batching --------------------------------------------------
+
+sim::HierarchyConfig small_config() {
+  sim::HierarchyConfig cfg;
+  cfg.l1i.config.geometry = cache::Geometry(4096, 2, 32);
+  cfg.l1d.config.geometry = cache::Geometry(4096, 2, 32);
+  cache::CacheSpec l2;
+  l2.config.geometry = cache::Geometry(32768, 4, 32);
+  cfg.l2 = l2;
+  return cfg;
+}
+
+void expect_instr_block_exact(sim::HierarchyConfig cfg, std::uint64_t seed) {
+  sim::Machine batched(cfg, std::make_shared<rng::XorShift64Star>(seed));
+  sim::Machine serial(cfg, std::make_shared<rng::XorShift64Star>(seed));
+  // Mixed block shapes: line-aligned, mid-line starts, single instructions,
+  // blocks spanning several lines, interleaved with data traffic.
+  const struct {
+    Addr pc;
+    unsigned n;
+  } blocks[] = {{0x2000, 64}, {0x2104, 7}, {0x2204, 1},  {0x221C, 3},
+                {0x3000, 8},  {0x3010, 29}, {0x2000, 64}, {0x5FFC, 2}};
+  for (const auto& block : blocks) {
+    batched.instr_block(block.pc, block.n);
+    for (unsigned i = 0; i < block.n; ++i) serial.instr(block.pc + 4 * i);
+    batched.load(0x100, 0x8000 + block.pc % 4096);
+    serial.load(0x100, 0x8000 + block.pc % 4096);
+  }
+  expect_same_machine_state(batched, serial);
+}
+
+TEST(InstrBlock, BatchedAccountingMatchesPerInstructionCalls) {
+  // LRU (touch must stay idempotent), random replacement, and a random-fill
+  // L1I whose misses do NOT leave the line resident (the batch must detect
+  // that and fall back).
+  expect_instr_block_exact(small_config(), 3);
+
+  sim::HierarchyConfig random_repl = small_config();
+  random_repl.l1i.replacement = cache::ReplacementKind::kRandom;
+  random_repl.l1d.replacement = cache::ReplacementKind::kRandom;
+  random_repl.l1i.mapper = cache::MapperKind::kHashRp;
+  expect_instr_block_exact(random_repl, 11);
+
+  sim::HierarchyConfig random_fill = small_config();
+  random_fill.l1i.config.random_fill_window = 4;
+  random_fill.l1i.replacement = cache::ReplacementKind::kRandom;
+  expect_instr_block_exact(random_fill, 17);
+}
+
+TEST(InstrBlock, RepeatHitLeavesStatsUntouchedWhenNotResident) {
+  sim::Machine m(small_config(), std::make_shared<rng::XorShift64Star>(1));
+  m.set_process(ProcId{1});
+  const cache::CacheStats before = m.hierarchy().l1i().stats();
+  EXPECT_FALSE(m.hierarchy().repeat_instr_hits(ProcId{1}, 0x7000, 5));
+  const cache::CacheStats after = m.hierarchy().l1i().stats();
+  EXPECT_EQ(before.accesses, after.accesses);
+  EXPECT_EQ(before.hits, after.hits);
+  // Once fetched, the batch path accounts exactly `count` hits.
+  m.instr(0x7000);
+  EXPECT_TRUE(m.hierarchy().repeat_instr_hits(ProcId{1}, 0x7000, 5));
+  const cache::CacheStats hit = m.hierarchy().l1i().stats();
+  EXPECT_EQ(hit.accesses, after.accesses + 6);  // 1 fetch + 5 batched
+  EXPECT_EQ(hit.hits, after.hits + 5);
+}
+
+}  // namespace
+}  // namespace tsc::runner

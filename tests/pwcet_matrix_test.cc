@@ -14,6 +14,7 @@
 #include "isa/kernels.h"
 #include "mbpta/analysis.h"
 #include "rng/rng.h"
+#include "runner/experiment.h"
 #include "runner/sharded.h"
 #include "stats/tests.h"
 
@@ -115,6 +116,33 @@ TEST(PwcetMatrixProtocol, RandomizedBoundIsStableAcrossPrefixes) {
       mbpta::pwcet_convergence(times, cfg, 1e-10, 6, 0.10);
   ASSERT_GE(curve.points.size(), 3u);
   EXPECT_GT(curve.final_bound(), *std::max_element(times.begin(), times.end()));
+}
+
+TEST(PwcetExceedance, WorkerCountInvariantAndWellFormed) {
+#ifndef NDEBUG
+  // The floor is 120 runs x 40 cells, twice; minutes under Debug/ASan.
+  // The Release CI jobs carry this contract.
+  GTEST_SKIP() << "pwcet_exceedance determinism runs in Release builds only";
+#endif
+  const Experiment* experiment = find_experiment("pwcet_exceedance");
+  ASSERT_NE(experiment, nullptr);
+  RunOptions options;
+  options.samples = 120;
+  options.shard_size = 40;
+  options.workers = 1;
+  const std::string w1 = experiment->run(options).dump(-1);
+  options.workers = 3;
+  EXPECT_EQ(experiment->run(options).dump(-1), w1)
+      << "exceedance JSON must be worker-count invariant";
+  // The plotting contract: empirical tails everywhere, fitted + extrapolated
+  // curves on at least one applicable cell, both tail models present.
+  EXPECT_NE(w1.find("\"empirical\""), std::string::npos);
+  EXPECT_NE(w1.find("\"verdict\":\"applicable\""), std::string::npos);
+  EXPECT_NE(w1.find("\"verdict\":\"degenerate\""), std::string::npos);
+  EXPECT_NE(w1.find("\"fitted\""), std::string::npos);
+  EXPECT_NE(w1.find("\"extrapolated\""), std::string::npos);
+  EXPECT_NE(w1.find("\"gumbel_block_maxima\""), std::string::npos);
+  EXPECT_NE(w1.find("\"gpd_pot\""), std::string::npos);
 }
 
 TEST(PolicyHelpers, RandomizedClassifiesModuloOnly) {
