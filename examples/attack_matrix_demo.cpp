@@ -5,7 +5,7 @@
 //
 //   $ ./examples/attack_matrix_demo
 //
-// The full 2 x 4 x 2 matrix (both attacks, four policies, partitioning
+// The full 2 x 7 x 2 matrix (both attacks, seven policies, partitioning
 // on/off) lives in `tsc_run --experiment attack_matrix`.
 #include <cstdio>
 

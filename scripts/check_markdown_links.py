@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Usage:
+    check_markdown_links.py [FILE_OR_DIR ...]     (default: repo root)
+
+Scans the given markdown files (directories are searched for ``*.md``)
+for inline links ``[text](target)`` and fails (exit 1) when a relative
+target does not exist on disk.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped; a relative
+target's ``#fragment`` suffix is ignored — existence of the file is what
+is checked.  Reference-style links and autolinks are out of scope: the
+repo's docs use inline links only.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline link whose target does not start with a scheme or '#'.  The
+# target group stops at the first ')' or whitespace, which is fine for
+# the plain relative paths used in this repo.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def md_files(roots: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for root in roots:
+        p = pathlib.Path(root)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        else:
+            files.append(p)
+    # The build directory may contain vendored markdown; never check it.
+    return [f for f in files if "build" not in f.parts and
+            ".git" not in f.parts]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=["."],
+                        help="markdown files or directories (default: .)")
+    args = parser.parse_args()
+
+    broken: list[str] = []
+    checked = 0
+    for md in md_files(args.paths or ["."]):
+        text = md.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP) or target.startswith("#"):
+                continue
+            checked += 1
+            rel = target.split("#", 1)[0]
+            if not (md.parent / rel).exists():
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md}:{line}: broken link -> {target}")
+
+    for b in broken:
+        print(b, file=sys.stderr)
+    print(f"{checked} intra-repo links checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,17 +31,27 @@ bool needs_rng(const CacheSpec& spec) {
   return spec.mapper == MapperKind::kRpCache ||
          spec.replacement == ReplacementKind::kRandom ||
          spec.replacement == ReplacementKind::kNmru ||
-         spec.config.random_fill_window > 0;
+         spec.config.random_fill_window > 0 || spec.config.ttl_max > 0;
 }
 
 }  // namespace
 
 std::string CacheSpec::describe() const {
   const Geometry& g = config.geometry;
-  return to_string(mapper) + "/" + to_string(replacement) + " " +
-         std::to_string(g.size_bytes() / 1024) + "KB " +
-         std::to_string(g.sets()) + "x" + std::to_string(g.ways()) + "w" +
-         std::to_string(g.line_bytes()) + "B";
+  std::string out = to_string(mapper) + "/" + to_string(replacement) + " " +
+                    std::to_string(g.size_bytes() / 1024) + "KB " +
+                    std::to_string(g.sets()) + "x" + std::to_string(g.ways()) +
+                    "w" + std::to_string(g.line_bytes()) + "B";
+  // Security extensions, only when armed (baseline strings are pinned by
+  // fixtures and must not change).
+  if (config.random_fill_window > 0) {
+    out += " rfill±" + std::to_string(config.random_fill_window);
+  }
+  if (config.ttl_max > 0) {
+    out += " ttl[" + std::to_string(config.ttl_min) + "," +
+           std::to_string(config.ttl_max) + "]";
+  }
+  return out;
 }
 
 std::unique_ptr<Cache> build_cache(const CacheSpec& spec,

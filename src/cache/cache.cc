@@ -82,7 +82,12 @@ Cache::Cache(CacheConfig config, std::unique_ptr<IndexMapper> mapper,
   access_fn_ = pick_access_fn();
   line_shift_ = config_.geometry.offset_bits();
   sets_mask_ = config_.geometry.sets() - 1;
-  slow_fill_ = config_.random_fill_window > 0;
+  ttl_enabled_ = config_.ttl_max > 0;
+  slow_fill_ = config_.random_fill_window > 0 || ttl_enabled_;
+  if (ttl_enabled_) {
+    expiry_.assign(tagv_.size(), 0);
+    ttl_.assign(tagv_.size(), 0);
+  }
   assert((!secure_contention_ || rng_ != nullptr) &&
          "the secure contention rule draws random sets/ways");
   assert(secure_contention_ ==
@@ -91,6 +96,9 @@ Cache::Cache(CacheConfig config, std::unique_ptr<IndexMapper> mapper,
          "the RPCache mapping kind");
   assert((config_.random_fill_window == 0 || rng_ != nullptr) &&
          "random fill draws random neighbour lines");
+  assert((!ttl_enabled_ || rng_ != nullptr) &&
+         "TTL caches draw per-line lifetimes");
+  assert(config_.ttl_min <= config_.ttl_max && "ttl range must be ordered");
 }
 
 const ResolvedMapping& Cache::resolve_context(ProcId proc) const {
@@ -215,6 +223,13 @@ AccessResult Cache::access_impl(Cache& self, ProcId proc, Addr addr,
 
   ++self.stats_.accesses;
 
+  // ClepsydraCache: every access ticks the clock and lazily reclaims
+  // expired lines of the probed set BEFORE the lookup, so a dead line can
+  // never hit.  One predictable branch for every non-TTL design.
+  if (self.ttl_enabled_) [[unlikely]] {
+    self.ttl_advance_and_expire(set);
+  }
+
   // Lookup: packed (line << 1 | valid) words - one equality per way, an
   // invalid way can never match a probe whose valid bit is set.
   const std::uint32_t ways = WAYS > 0 ? WAYS : geo.ways();
@@ -260,6 +275,7 @@ AccessResult Cache::access_impl(Cache& self, ProcId proc, Addr addr,
       ++self.stats_.hits;
       touch_spec<RK, WAYS>(self.repl_, set, w);
       if (write && self.config_.write_back) self.dirty_[base + w] = 1;
+      if (self.ttl_enabled_) [[unlikely]] self.ttl_refresh(base + w);
       return AccessResult{true, false, true, false, set, 0};
     }
 
@@ -352,6 +368,7 @@ AccessResult Cache::access_impl(Cache& self, ProcId proc, Addr addr,
         result.hit = true;
         touch_spec<RK, WAYS>(self.repl_, set, w);
         if (write && self.config_.write_back) self.dirty_[base + w] = 1;
+        if (self.ttl_enabled_) [[unlikely]] self.ttl_refresh(base + w);
         return result;
       }
     }
@@ -481,6 +498,27 @@ void Cache::fill_impl(const ResolvedMapping*, ProcId proc, Addr line,
   owner_[di] = proc.value;
   dirty_[di] = dirty ? 1 : 0;
   fill_spec<RK, WAYS>(repl_, set, way);
+  // TTL draw LAST (after any victim/contention draw), a fixed per-fill
+  // order the reference model replays.
+  if (ttl_enabled_) [[unlikely]] ttl_on_fill(di);
+}
+
+void Cache::ttl_advance_and_expire(std::uint32_t set) {
+  ++ttl_clock_;
+  const std::uint32_t ways = config_.geometry.ways();
+  const std::size_t base = static_cast<std::size_t>(set) * ways;
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    const std::size_t i = base + w;
+    if ((tagv_[i] & 1) != 0 && expiry_[i] <= ttl_clock_) {
+      // Time-based eviction: write back if dirty, then invalidate.  Counted
+      // apart from capacity/conflict evictions - the decoupling of eviction
+      // from contention is the design's point, and the stats should show it.
+      ++stats_.ttl_expirations;
+      if (dirty_[i] != 0) ++stats_.writebacks;
+      tagv_[i] = 0;
+      dirty_[i] = 0;
+    }
+  }
 }
 
 /// Builds the (mapping x replacement x ways) -> specialized-access table.
@@ -583,6 +621,10 @@ std::uint64_t Cache::flush() {
 }
 
 bool Cache::try_repeat_hit(ProcId proc, Addr addr, std::uint64_t count) {
+  // A TTL cache cannot batch: each of the `count` accesses must tick the
+  // expiry clock (and could itself expire lines).  Decline; the caller's
+  // per-access replay is exact.
+  if (ttl_enabled_) return false;
   const Addr line = addr >> line_shift_;
   const std::uint32_t set = map_set(context(proc), line);
   const std::uint32_t ways = config_.geometry.ways();
@@ -614,7 +656,10 @@ void Cache::reset() {
   hot_.fill(HotCtx{});
   partitions_.clear();
   std::fill(partition_rr_.begin(), partition_rr_.end(), 0u);
-  slow_fill_ = config_.random_fill_window > 0;
+  std::fill(expiry_.begin(), expiry_.end(), std::uint64_t{0});
+  std::fill(ttl_.begin(), ttl_.end(), 0u);
+  ttl_clock_ = 0;
+  slow_fill_ = config_.random_fill_window > 0 || ttl_enabled_;
 }
 
 void Cache::set_seed(ProcId proc, Seed seed) {
@@ -637,7 +682,8 @@ void Cache::set_way_partition(ProcId proc, std::uint32_t first_way,
 
 void Cache::clear_way_partition(ProcId proc) {
   partitions_.erase(proc);
-  slow_fill_ = config_.random_fill_window > 0 || !partitions_.empty();
+  slow_fill_ =
+      config_.random_fill_window > 0 || ttl_enabled_ || !partitions_.empty();
 }
 
 std::optional<MemoStats> Cache::rm_memo_stats() const {

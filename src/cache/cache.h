@@ -66,6 +66,7 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t contention_evictions = 0;  ///< RPCache secure-rule firings
+  std::uint64_t ttl_expirations = 0;       ///< ClepsydraCache TTL evictions
   std::uint64_t flushes = 0;
   std::uint64_t flushed_lines = 0;
 
@@ -87,6 +88,15 @@ struct CacheConfig {
   /// pattern from the access pattern (a security measure from the related
   /// work), at an obvious reuse cost.
   std::uint32_t random_fill_window = 0;
+  /// ClepsydraCache (arXiv:2104.11469): when ttl_max > 0, every filled line
+  /// receives a time-to-live drawn uniformly from [ttl_min, ttl_max],
+  /// counted in accesses to this cache.  A line whose TTL elapsed is
+  /// (lazily) invalidated the next time its set is probed - written back
+  /// first when dirty - and a hit refreshes the line's expiry by its own
+  /// stored TTL.  Randomized lifetimes decouple eviction time from
+  /// contention, blunting eviction-based attacks.  Requires an rng.
+  std::uint32_t ttl_min = 0;
+  std::uint32_t ttl_max = 0;
 };
 
 /// The cache model.
@@ -102,12 +112,20 @@ class Cache {
   /// function pointer resolved at construction to the access path
   /// specialized for this cache's (mapping kind, replacement kind, way
   /// count): inside it, every design decision is a compile-time constant.
+  /// Contract: deterministic - the same access sequence against the same
+  /// seeds and the same rng stream reproduces identical results and stats
+  /// (the differential oracle and the golden fixtures pin this).  Random
+  /// draws happen only at documented points (random replacement victims,
+  /// NMRU picks, the RPCache contention rule, random-fill target lines,
+  /// TTL draws on fill), in a fixed order per access.
   AccessResult access(ProcId proc, Addr addr, bool write) {
     return access_fn_(*this, proc, addr, write);
   }
 
   /// Does the cache currently hold the line containing `addr` for `proc`?
-  /// Does not update replacement state or statistics.
+  /// Does not update replacement state or statistics.  On a TTL cache this
+  /// may report a line whose TTL already elapsed but whose set has not
+  /// been probed since (expiry is lazy, and contains() does not probe).
   [[nodiscard]] bool contains(ProcId proc, Addr addr) const;
 
   /// Write back everything dirty and invalidate all lines (paper section 5:
@@ -122,18 +140,19 @@ class Cache {
   /// way would (touching the same way is idempotent for every shipped
   /// policy), then return true.  Returns false - and changes nothing - when
   /// the line is not resident (e.g. the secure-contention rule or random
-  /// fill declined to allocate it); the caller falls back to access().
+  /// fill declined to allocate it), and always on a TTL cache (every access
+  /// must advance the expiry clock); the caller falls back to access().
   /// This is the Machine::instr_block fast path: sequential instruction
   /// fetches within one cache line skip the full lookup after the first.
   bool try_repeat_hit(ProcId proc, Addr addr, std::uint64_t count);
 
   /// Return to the just-constructed state - no valid lines, default-seed
-  /// mappings, initial replacement metadata, zero stats, no partitions -
-  /// while keeping every allocation (line arrays, RPCache table buffers,
-  /// resolved-context storage).  With the shared rng reseeded to its
-  /// construction value, a reset cache replays a freshly built one
-  /// bit-exactly; runner::MachinePool relies on this.  (Random Modulo memo
-  /// diagnostics accumulate across reset, like reset_stats.)
+  /// mappings, initial replacement metadata, zero stats, zero TTL clock,
+  /// no partitions - while keeping every allocation (line arrays, RPCache
+  /// table buffers, resolved-context storage).  With the shared rng
+  /// reseeded to its construction value, a reset cache replays a freshly
+  /// built one bit-exactly; runner::MachinePool relies on this.  (Random
+  /// Modulo memo diagnostics accumulate across reset, like reset_stats.)
   void reset();
 
   /// Change the placement seed of a process.  The caller (OS model) decides
@@ -226,6 +245,22 @@ class Cache {
                                                     bool write);
   /// Outlined RPCache secure-contention handling (draws from the rng).
   [[gnu::noinline]] AccessResult contention_evict(std::uint32_t set);
+  /// TTL (ClepsydraCache) bookkeeping: advance the access clock and lazily
+  /// invalidate expired lines of the probed set (outlined: only TTL caches
+  /// pay for it); refresh a hit line's expiry; draw a fresh TTL for a
+  /// newly filled line.  Only called when ttl_enabled_.
+  [[gnu::noinline]] void ttl_advance_and_expire(std::uint32_t set);
+  void ttl_refresh(std::size_t index) {
+    expiry_[index] = ttl_clock_ + ttl_[index];
+  }
+  void ttl_on_fill(std::size_t index) {
+    const std::uint64_t span =
+        std::uint64_t{config_.ttl_max} - config_.ttl_min + 1;
+    const auto ttl = static_cast<std::uint32_t>(config_.ttl_min +
+                                                rng_->next_below(span));
+    ttl_[index] = ttl;
+    expiry_[index] = ttl_clock_ + ttl;
+  }
   [[nodiscard]] AccessFn pick_access_fn() const;
   friend struct CacheAccessCompiler;  ///< instantiates the access_impl table
 
@@ -245,6 +280,12 @@ class Cache {
   std::vector<std::uint64_t> tagv_;   ///< (line_addr << 1) | valid
   std::vector<std::uint32_t> owner_;  ///< installing process id
   std::vector<std::uint8_t> dirty_;
+  // TTL state (allocated only when ttl_enabled_), same indexing.  The
+  // clock counts accesses to THIS cache and is deployment state, not a
+  // statistic: reset() zeroes it, reset_stats() does not.
+  std::vector<std::uint64_t> expiry_;  ///< clock value at which a line dies
+  std::vector<std::uint32_t> ttl_;     ///< the line's drawn TTL (for refresh)
+  std::uint64_t ttl_clock_ = 0;
 
   mutable std::vector<ResolvedMapping> contexts_;  ///< per-process, dense
 
@@ -266,8 +307,10 @@ class Cache {
   ReplacementFast repl_;          ///< raw view into *replacement_
   AccessFn access_fn_;            ///< specialized hot path
   bool secure_contention_;        ///< mapper demands the RPCache rule
-  /// random_fill_window > 0 or any way partition installed: misses leave
-  /// through the outlined slow path.  One flag, one test per miss.
+  bool ttl_enabled_ = false;      ///< config_.ttl_max > 0 (ClepsydraCache)
+  /// random_fill_window > 0, TTL enabled, or any way partition installed:
+  /// misses leave through the outlined slow path.  One flag, one test per
+  /// miss.
   bool slow_fill_ = false;
 
   ProcIndexed<Partition> partitions_;

@@ -3,9 +3,8 @@
 #include "rng/rng.h"
 
 namespace tsc::core {
-namespace {
 
-sim::HierarchyConfig config_for(PlacementPolicy policy) {
+sim::HierarchyConfig policy_hierarchy_config(PlacementPolicy policy) {
   using cache::MapperKind;
   using cache::ReplacementKind;
   switch (policy) {
@@ -24,13 +23,58 @@ sim::HierarchyConfig config_for(PlacementPolicy policy) {
       return sim::arm920t_config(MapperKind::kRandomModulo,
                                  MapperKind::kHashRp,
                                  ReplacementKind::kRandom);
+    case PlacementPolicy::kClepsydra: {
+      // ClepsydraCache = address randomization + per-line random TTLs, on
+      // the random-modulo L1 / hashRP L2 randomized interface.  TTL ranges
+      // are in per-cache accesses (each cache's own clock).  The L1 range
+      // keeps enough reuse alive that loop working sets still hit; the L2
+      // range is deliberately short - L2 lines die well inside a kernel
+      // run, so no line outlives the pattern that fetched it.  That is the
+      // design's point (a cached secret has a bounded observable lifetime)
+      // and also what makes the platform MBPTA-friendly: expiries push
+      // every run toward the same refill regime, damping the layout-lottery
+      // tails that way-partitioned strided kernels otherwise produce.
+      sim::HierarchyConfig config = sim::arm920t_config(
+          MapperKind::kRandomModulo, MapperKind::kHashRp,
+          ReplacementKind::kRandom);
+      for (cache::CacheSpec* level : {&config.l1i, &config.l1d}) {
+        level->config.ttl_min = 512;
+        level->config.ttl_max = 4096;
+      }
+      config.l2->config.ttl_min = 64;
+      config.l2->config.ttl_max = 512;
+      return config;
+    }
+    case PlacementPolicy::kRandomAndSafe: {
+      // Random-and-Safe: placement stays deterministic; the defense is the
+      // fill path.  A read miss is served around the cache and a random
+      // line within +/-8 of it is brought in instead, so the attacker's
+      // probe/prime working set never deterministically lands in the
+      // cache.  The L1I is conventional (random-filling the fetch stream
+      // would serve every fetch from memory; the data side carries the
+      // attack surface the matrix measures).
+      sim::HierarchyConfig config = sim::arm920t_config(
+          MapperKind::kModulo, MapperKind::kModulo, ReplacementKind::kRandom);
+      config.l1d.config.random_fill_window = 8;
+      config.l2->config.random_fill_window = 8;
+      return config;
+    }
+    case PlacementPolicy::kTimeCache: {
+      // TimeCache-style quantization: the cache organization is the modulo
+      // baseline, but every access latency is rounded up to one quantum
+      // covering the worst-case path, so a hit and a two-level miss cost
+      // the same and the attacker's timing observable carries no bits.
+      sim::HierarchyConfig config = sim::arm920t_config(
+          MapperKind::kModulo, MapperKind::kModulo, ReplacementKind::kLru);
+      config.latency.quantum = config.latency.l1_hit +
+                               config.latency.l2_hit + config.latency.memory;
+      return config;
+    }
   }
   return sim::arm920t_config(cache::MapperKind::kModulo,
                              cache::MapperKind::kModulo,
                              cache::ReplacementKind::kLru);
 }
-
-}  // namespace
 
 std::string to_string(PlacementPolicy policy) {
   switch (policy) {
@@ -42,18 +86,30 @@ std::string to_string(PlacementPolicy policy) {
       return "RPCache";
     case PlacementPolicy::kRandomModulo:
       return "random-modulo";
+    case PlacementPolicy::kClepsydra:
+      return "clepsydra";
+    case PlacementPolicy::kRandomAndSafe:
+      return "random-and-safe";
+    case PlacementPolicy::kTimeCache:
+      return "timecache";
   }
   return "?";
 }
 
 bool randomized(PlacementPolicy policy) {
-  return policy != PlacementPolicy::kModulo;
+  // kModulo: one layout, one time.  kTimeCache: layouts deterministic AND
+  // every access costs the same quantum, so run times are constant - the
+  // matrix expects its cells to be degenerate, never applicable.
+  return policy != PlacementPolicy::kModulo &&
+         policy != PlacementPolicy::kTimeCache;
 }
 
 const std::vector<PlacementPolicy>& all_policies() {
   static const std::vector<PlacementPolicy> policies{
-      PlacementPolicy::kModulo, PlacementPolicy::kHashRp,
-      PlacementPolicy::kRpCache, PlacementPolicy::kRandomModulo};
+      PlacementPolicy::kModulo,       PlacementPolicy::kHashRp,
+      PlacementPolicy::kRpCache,      PlacementPolicy::kRandomModulo,
+      PlacementPolicy::kClepsydra,    PlacementPolicy::kRandomAndSafe,
+      PlacementPolicy::kTimeCache};
   return policies;
 }
 
@@ -86,8 +142,8 @@ std::unique_ptr<sim::Machine> build_policy_machine(
     PlacementPolicy policy, std::uint64_t deployment_seed, bool partitioned) {
   auto rng = std::make_shared<rng::XorShift64Star>(
       policy_machine_rng_seed(deployment_seed));
-  auto machine =
-      std::make_unique<sim::Machine>(config_for(policy), std::move(rng));
+  auto machine = std::make_unique<sim::Machine>(
+      policy_hierarchy_config(policy), std::move(rng));
   configure_policy_machine(*machine, deployment_seed, partitioned);
   return machine;
 }

@@ -4,12 +4,24 @@
 // story of its four processor designs.  The attack matrix needs the
 // orthogonal cut the related work evaluates ("Random and Safe Cache
 // Architecture", arXiv:2309.16172): the same platform and protocol under
-// each of the four placement policies - modulo, hashRP, RPCache,
-// random-modulo - with per-process unique seeds (the strongest
-// non-reseeding configuration of each design) and optionally way
+// each placement/defense policy with per-process unique seeds (the
+// strongest non-reseeding configuration of each design) and optionally way
 // partitioning layered on top.  This module builds those machines so the
 // experiment, the benches and the tests agree on what "the hashRP cell"
 // means.
+//
+// Beyond the paper's four placement policies the axis carries three
+// modern secure-cache designs from the related work:
+//  * ClepsydraCache (arXiv:2104.11469) - randomized placement plus
+//    per-line randomized TTLs with time-based eviction;
+//  * Random-and-Safe (arXiv:2309.16172) - random-fill on miss (the
+//    demanded line is served to the core but NOT cached; a random
+//    neighbour is filled instead);
+//  * TimeCache-style timed access quantization (arXiv:2009.14732) -
+//    every access latency rounded up to a fixed quantum covering the
+//    worst-case path, masking the hit/miss delta.
+// docs/adding_a_policy.md walks through how a new design lands on this
+// axis and what contracts it must satisfy.
 #pragma once
 
 #include <cstdint>
@@ -22,30 +34,65 @@
 
 namespace tsc::core {
 
-/// The four placement policies of the attack matrix.
-enum class PlacementPolicy { kModulo, kHashRp, kRpCache, kRandomModulo };
+/// The placement/defense policies of the attack and pWCET matrices.
+/// Order is load-bearing: matrix cell indices (and the per-cell seed
+/// derivations) follow enum order, and the deterministic baseline must
+/// stay first (pwcet_matrix normalizes overhead against platform 0).
+/// Append new designs at the end; never reorder.
+enum class PlacementPolicy {
+  kModulo,
+  kHashRp,
+  kRpCache,
+  kRandomModulo,
+  kClepsydra,
+  kRandomAndSafe,
+  kTimeCache,
+};
+
+/// Number of policies on the axis (== all_policies().size(); kept in sync
+/// by static_assert-style tests).  Sizes runner::MachinePool's slot array.
+inline constexpr std::size_t kPolicyCount = 7;
 
 [[nodiscard]] std::string to_string(PlacementPolicy policy);
 
-/// True for the seed-randomized placements (everything but modulo) - the
-/// policies the paper expects to both blunt contention attacks and make
-/// execution times MBPTA-analyzable.
+/// True for the policies whose run-to-run TIMING is randomized by a
+/// deployment seed - the ones the paper (and the related secure-cache
+/// work) expects to both blunt contention attacks and make execution
+/// times MBPTA-analyzable.  False for kModulo (one layout, one time) and
+/// kTimeCache (constant-cost accesses: secure but degenerate, never
+/// MBPTA-applicable - the tradeoff docs/tradeoff_matrix.md discusses).
 [[nodiscard]] bool randomized(PlacementPolicy policy);
 
-/// All four policies, in presentation order (deterministic baseline first).
+/// All policies, in presentation order (deterministic baseline first).
 [[nodiscard]] const std::vector<PlacementPolicy>& all_policies();
 
 /// Processes of an attack-matrix cell.
 inline constexpr ProcId kMatrixVictim{1};
 inline constexpr ProcId kMatrixAttacker{2};
 
-/// Build the paper platform (ARM920T-like L1s + L2) for one policy:
+/// The paper platform (ARM920T-like L1s + L2) configured for one policy:
 ///  * kModulo        - modulo L1/L2, LRU (the deterministic baseline);
 ///  * kHashRp        - hashRP L1/L2, random replacement;
 ///  * kRpCache       - RPCache L1/L2 (per-process permutation tables plus
 ///                     the secure contention rule), LRU;
 ///  * kRandomModulo  - RM L1s + hashRP L2 (RM needs way size == page size,
-///                     which only the L1s satisfy), random replacement.
+///                     which only the L1s satisfy), random replacement;
+///  * kClepsydra     - hashRP L1/L2, random replacement, per-line random
+///                     TTLs with lazy time-based eviction on every level;
+///  * kRandomAndSafe - modulo L1/L2, random replacement, random-fill
+///                     (window 8) on L1D and L2; the L1I stays
+///                     conventional (random-filling the fetch path would
+///                     starve the front end, and the data side is what the
+///                     eviction attacks read);
+///  * kTimeCache     - modulo L1/L2, LRU, with every access latency
+///                     quantized up to the worst-case path cost.
+/// Exposed so tests (the policy-axis enumeration test, the differential
+/// oracle) can interrogate each design's per-level CacheSpecs without
+/// restating them.
+[[nodiscard]] sim::HierarchyConfig policy_hierarchy_config(
+    PlacementPolicy policy);
+
+/// Build the platform machine for one policy (policy_hierarchy_config).
 ///
 /// `deployment_seed` drives every random decision (machine RNG, per-process
 /// placement seeds), so a cell replays bit-identically from one integer.

@@ -71,7 +71,8 @@ class MachinePool {
     std::unique_ptr<isa::Interpreter> interpreter;
   };
 
-  std::array<PolicySlot, 8> policy_;  ///< [policy * 2 + partitioned]
+  std::array<PolicySlot, 2 * core::kPolicyCount>
+      policy_;                        ///< [policy * 2 + partitioned]
   std::array<SetupSlot, 4> setups_;   ///< [SetupKind]
 };
 

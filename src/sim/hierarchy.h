@@ -47,7 +47,13 @@ class Hierarchy {
  public:
   Hierarchy(HierarchyConfig config, std::shared_ptr<rng::Rng> rng);
 
-  /// One memory access through the hierarchy.
+  /// One memory access through the hierarchy.  Deterministic given the
+  /// cache states: the same (port, proc, addr, write) sequence against the
+  /// same seeds and rng stream reproduces the same latencies - the contract
+  /// every golden fixture and the MBPTA protocols rest on.  When
+  /// latency.quantum > 0 (the TimeCache-style platform) the returned
+  /// latency is rounded up to the next quantum multiple, masking the
+  /// hit/miss delta the attacker times.
   HierarchyResult access(Port port, ProcId proc, Addr addr, bool write) {
     const LatencyConfig& lat = config_.latency;
     HierarchyResult result;
@@ -56,15 +62,20 @@ class Hierarchy {
     const cache::AccessResult r1 = l1.access(proc, addr, write);
     result.latency = lat.l1_hit;
     result.l1_hit = r1.hit;
-    if (r1.hit) return result;
-
-    if (l2_ != nullptr) {
-      const cache::AccessResult r2 = l2_->access(proc, addr, write);
-      result.latency += lat.l2_hit;
-      result.l2_hit = r2.hit;
-      if (r2.hit) return result;
+    if (!r1.hit) {
+      bool served = false;
+      if (l2_ != nullptr) {
+        const cache::AccessResult r2 = l2_->access(proc, addr, write);
+        result.latency += lat.l2_hit;
+        result.l2_hit = r2.hit;
+        served = r2.hit;
+      }
+      if (!served) result.latency += lat.memory;
     }
-    result.latency += lat.memory;
+    if (lat.quantum > 0) [[unlikely]] {
+      result.latency =
+          (result.latency + lat.quantum - 1) / lat.quantum * lat.quantum;
+    }
     return result;
   }
 
@@ -73,8 +84,12 @@ class Hierarchy {
   /// they are (Cache::try_repeat_hit) and return true; otherwise change
   /// nothing and return false so the caller replays per instruction.  Each
   /// batched fetch costs exactly `latency().l1_hit`, the same as access()
-  /// would report; the Machine adds the cycles.
+  /// would report; the Machine adds the cycles.  Declined under latency
+  /// quantization (a quantized L1I hit costs `quantum`, not l1_hit) and by
+  /// TTL caches (every access must advance the expiry clock) - the caller's
+  /// per-instruction replay stays exact in both cases.
   bool repeat_instr_hits(ProcId proc, Addr pc, std::uint64_t count) {
+    if (config_.latency.quantum > 0) return false;
     return l1i_->try_repeat_hit(proc, pc, count);
   }
 

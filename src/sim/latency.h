@@ -20,6 +20,14 @@ struct LatencyConfig {
   unsigned pipeline_depth = 5; ///< stages; drain cost = depth - 1
   Cycles seed_update = 2;      ///< writing a placement-seed register
   Cycles flush_per_line = 1;   ///< invalidating one valid line during flush
+  /// TimeCache-style access-time quantization (arXiv:2009.14732): when > 0,
+  /// every hierarchy access latency is rounded UP to the next multiple of
+  /// `quantum` before it reaches the core.  A quantum at least as large as
+  /// the worst-case path (l1_hit + l2_hit + memory) makes every access cost
+  /// identical - the timing channel an eviction attack reads disappears, at
+  /// the worst-case cost on every access.  0 disables quantization (the
+  /// default for every other platform; fig5/attack goldens depend on it).
+  Cycles quantum = 0;
 
   /// Paper section 6.2.3: restoring a seed "would only require to wait until
   /// all accesses in flight of the previous process have been served, which

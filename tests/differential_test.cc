@@ -133,6 +133,7 @@ void run_differential(const CacheSpec& spec, bool partitioned,
   EXPECT_EQ(got.evictions, want.evictions);
   EXPECT_EQ(got.writebacks, want.writebacks);
   EXPECT_EQ(got.contention_evictions, want.contention_evictions);
+  EXPECT_EQ(got.ttl_expirations, want.ttl_expirations);
   EXPECT_EQ(got.flushes, want.flushes);
   EXPECT_EQ(got.flushed_lines, want.flushed_lines);
   EXPECT_EQ(fast->valid_lines(), ref.valid_lines());
@@ -165,6 +166,91 @@ INSTANTIATE_TEST_SUITE_P(
                           ReplacementKind::kNmru),
         ::testing::Bool()),
     combo_name);
+
+// The secure-cache extensions the policy axis ships (random-fill for
+// Random-and-Safe, per-line TTLs for ClepsydraCache) run on the outlined
+// slow-fill path; their rng draw order (neighbour line before any victim
+// draw, TTL after the fill's draws) is part of the oracle contract.  Cover
+// both access paths and a spread of mappings/replacements, plus the
+// combined and partitioned cases.  Streams are shorter than the main
+// matrix (these multiply on top of it), still >= 4x10^4 accesses each.
+
+constexpr std::size_t kExtStreamLength = 40'000;
+
+TEST(DifferentialRandomFill, MatchesReferenceAcrossDesigns) {
+  const NamedGeometry geometries[] = {
+      {Geometry(4096, 4, 32), "4w32"},   // specialized path
+      {Geometry(8192, 8, 32), "8w32"},   // generic path
+      {Geometry(4096, 1, 32), "dm128"},  // direct-mapped
+  };
+  std::uint64_t seed = 0xAB5AFE00;
+  for (const NamedGeometry& geometry : geometries) {
+    for (const MapperKind mapper : {MapperKind::kModulo, MapperKind::kHashRp}) {
+      for (const ReplacementKind repl :
+           {ReplacementKind::kRandom, ReplacementKind::kLru}) {
+        CacheSpec spec;
+        spec.config.geometry = geometry.geometry;
+        spec.config.random_fill_window = 8;
+        spec.mapper = mapper;
+        spec.replacement = repl;
+        SCOPED_TRACE(spec.describe());
+        run_differential(spec, /*partitioned=*/false, ++seed,
+                         kExtStreamLength);
+      }
+    }
+  }
+}
+
+TEST(DifferentialRandomFill, PartitionedWriteAroundCombinations) {
+  CacheSpec spec;
+  spec.config.geometry = Geometry(4096, 4, 32);
+  spec.config.random_fill_window = 4;
+  spec.mapper = MapperKind::kModulo;
+  spec.replacement = ReplacementKind::kRandom;
+  run_differential(spec, /*partitioned=*/true, 0xAB5AFE80, kExtStreamLength);
+  spec.config.write_allocate = false;  // write misses bypass; reads random-fill
+  run_differential(spec, /*partitioned=*/false, 0xAB5AFE81, kExtStreamLength);
+}
+
+TEST(DifferentialTtl, MatchesReferenceAcrossDesigns) {
+  // Short lifetimes so expiry fires constantly within the stream.
+  const NamedGeometry geometries[] = {
+      {Geometry(4096, 4, 32), "4w32"},  // specialized path
+      {Geometry(2048, 2, 32), "2w32"},  // generic path
+  };
+  std::uint64_t seed = 0xC1EA0000;
+  for (const NamedGeometry& geometry : geometries) {
+    for (const MapperKind mapper : {MapperKind::kHashRp, MapperKind::kModulo,
+                                    MapperKind::kRpCache}) {
+      for (const ReplacementKind repl :
+           {ReplacementKind::kRandom, ReplacementKind::kLru}) {
+        CacheSpec spec;
+        spec.config.geometry = geometry.geometry;
+        spec.config.ttl_min = 64;
+        spec.config.ttl_max = 512;
+        spec.mapper = mapper;
+        spec.replacement = repl;
+        SCOPED_TRACE(spec.describe());
+        run_differential(spec, /*partitioned=*/false, ++seed,
+                         kExtStreamLength);
+      }
+    }
+  }
+}
+
+TEST(DifferentialTtl, PartitionedAndCombinedWithRandomFill) {
+  CacheSpec spec;
+  spec.config.geometry = Geometry(4096, 4, 32);
+  spec.config.ttl_min = 64;
+  spec.config.ttl_max = 512;
+  spec.mapper = MapperKind::kHashRp;
+  spec.replacement = ReplacementKind::kRandom;
+  run_differential(spec, /*partitioned=*/true, 0xC1EA0080, kExtStreamLength);
+  // TTL + random fill stacked: the neighbour draw precedes the fill's
+  // victim draw, which precedes the TTL draw - the full draw-order chain.
+  spec.config.random_fill_window = 8;
+  run_differential(spec, /*partitioned=*/false, 0xC1EA0081, kExtStreamLength);
+}
 
 // Write-policy variants are orthogonal to the matrix dimensions; cover them
 // on both access paths (4-way specialized, 8-way generic).

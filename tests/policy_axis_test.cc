@@ -1,0 +1,157 @@
+// Policy-axis enumeration contract: every PlacementPolicy registered on
+// the axis must
+//   (a) be enumerated by all_policies() (which is what both campaign
+//       experiments iterate to build their cell grids) with a unique,
+//       stable name and an in-range enum value (kPolicyCount sizes the
+//       MachinePool slot array),
+//   (b) appear as rows of BOTH committed campaign fixtures - the
+//       attack_matrix and pwcet_matrix goldens are pinned byte-identical
+//       to live runs by golden_test.cc, so a policy present there is
+//       provably in the live cell grids too,
+//   (c) have a working reference-cache model for every cache level of its
+//       platform, checked by a short differential stream per level.
+// A future policy added to the enum but not to all_policies(), or with a
+// config the oracle cannot model, or with stale fixtures, fails here
+// instead of silently dropping out of the campaigns.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cache/builder.h"
+#include "core/policy.h"
+#include "reference_cache.h"
+#include "rng/rng.h"
+#include "runner/machine_pool.h"
+
+namespace tsc::core {
+namespace {
+
+#ifndef TSC_SOURCE_DIR
+#error "TSC_SOURCE_DIR must point at the repository root"
+#endif
+
+std::string read_fixture(const std::string& relative) {
+  const std::string path = std::string(TSC_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(PolicyAxis, EnumerationIsCompleteAndStable) {
+  const std::vector<PlacementPolicy>& policies = all_policies();
+  ASSERT_EQ(policies.size(), kPolicyCount);
+  // The deterministic baseline leads (pwcet_matrix normalizes overhead
+  // against platform 0).
+  EXPECT_EQ(policies.front(), PlacementPolicy::kModulo);
+  std::set<std::string> names;
+  std::set<std::size_t> values;
+  for (const PlacementPolicy policy : policies) {
+    const std::string name = to_string(policy);
+    EXPECT_NE(name, "?") << "policy missing a to_string case";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    const auto value = static_cast<std::size_t>(policy);
+    EXPECT_LT(value, kPolicyCount) << "enum value outside the slot range";
+    EXPECT_TRUE(values.insert(value).second);
+  }
+}
+
+TEST(PolicyAxis, EveryPolicyIsARowOfBothCampaignFixtures) {
+  const std::string attack =
+      read_fixture("tests/golden/attack_matrix_s1200_ss400.json");
+  const std::string pwcet =
+      read_fixture("tests/golden/pwcet_matrix_s240_ss80.json");
+  ASSERT_FALSE(attack.empty());
+  ASSERT_FALSE(pwcet.empty());
+  for (const PlacementPolicy policy : all_policies()) {
+    const std::string key = "\"policy\":\"" + to_string(policy) + "\"";
+    EXPECT_NE(attack.find(key), std::string::npos)
+        << to_string(policy) << " missing from the attack_matrix fixture "
+        << "(stale golden? regenerate per golden_test.cc)";
+    EXPECT_NE(pwcet.find(key), std::string::npos)
+        << to_string(policy) << " missing from the pwcet_matrix fixture "
+        << "(stale golden? regenerate per golden_test.cc)";
+  }
+}
+
+/// Short differential replay of one level's CacheSpec: production cache vs
+/// the naive reference model, same-seeded separate rngs, exact equality.
+/// (The exhaustive streams live in differential_test.cc; this guards that
+/// each POLICY's concrete per-level configuration stays inside what the
+/// oracle models.)
+void check_reference_model(const cache::CacheSpec& spec, std::uint64_t seed) {
+  auto fast_rng = std::make_shared<rng::XorShift64Star>(seed);
+  auto ref_rng = std::make_shared<rng::XorShift64Star>(seed);
+  const std::unique_ptr<cache::Cache> fast =
+      cache::build_cache(spec, fast_rng);
+  cache::ReferenceCache ref(spec, ref_rng);
+
+  const Addr size = spec.config.geometry.size_bytes();
+  const std::uint32_t line = spec.config.geometry.line_bytes();
+  for (const ProcId proc : {kMatrixVictim, kMatrixAttacker}) {
+    const Seed s{rng::derive_seed(seed, 0xA7C0 + proc.value)};
+    fast->set_seed(proc, s);
+    ref.set_seed(proc, s);
+  }
+
+  rng::XorShift64Star script(rng::derive_seed(seed, 0xD1FF));
+  for (std::size_t i = 0; i < 20'000; ++i) {
+    const ProcId proc = script.next_bool() ? kMatrixVictim : kMatrixAttacker;
+    const Addr region = script.next_bool() ? size / 2 : 4 * size;
+    const Addr addr = script.next_below(region / line) * line;
+    const bool write = script.next_below(100) < 30;
+    const cache::AccessResult got = fast->access(proc, addr, write);
+    const cache::ReferenceCache::Result want = ref.access(proc, addr, write);
+    ASSERT_EQ(got.hit, want.hit) << "access " << i;
+    ASSERT_EQ(got.set, want.set) << "access " << i;
+    ASSERT_EQ(got.allocated, want.allocated) << "access " << i;
+    ASSERT_EQ(got.evicted, want.evicted) << "access " << i;
+    ASSERT_EQ(got.writeback, want.writeback) << "access " << i;
+    ASSERT_EQ(got.evicted_line, want.evicted_line) << "access " << i;
+  }
+  const cache::CacheStats got = fast->stats();
+  const cache::ReferenceCache::Stats& want = ref.stats();
+  EXPECT_EQ(got.accesses, want.accesses);
+  EXPECT_EQ(got.hits, want.hits);
+  EXPECT_EQ(got.evictions, want.evictions);
+  EXPECT_EQ(got.writebacks, want.writebacks);
+  EXPECT_EQ(got.contention_evictions, want.contention_evictions);
+  EXPECT_EQ(got.ttl_expirations, want.ttl_expirations);
+  EXPECT_EQ(fast->valid_lines(), ref.valid_lines());
+}
+
+TEST(PolicyAxis, EveryPolicyLevelHasAReferenceCacheModel) {
+  for (const PlacementPolicy policy : all_policies()) {
+    const sim::HierarchyConfig config = policy_hierarchy_config(policy);
+    ASSERT_TRUE(config.l2.has_value()) << to_string(policy);
+    std::uint64_t which = 0;
+    for (const cache::CacheSpec& spec :
+         {config.l1i, config.l1d, *config.l2}) {
+      SCOPED_TRACE(to_string(policy) + " " + spec.describe());
+      check_reference_model(
+          spec, rng::derive_seed(0xA015'0000 + which++,
+                                 static_cast<std::uint64_t>(policy)));
+    }
+  }
+}
+
+TEST(PolicyAxis, MachinePoolHasASlotForEveryPolicyCell) {
+  // Leasing every (policy, partitioned) cell exercises the pool's slot
+  // indexing; an axis grown without resizing the pool throws here.
+  for (const PlacementPolicy policy : all_policies()) {
+    for (const bool partitioned : {false, true}) {
+      const runner::PooledMachine lease =
+          runner::MachinePool::local().policy_machine(policy, 0x5107,
+                                                      partitioned);
+      EXPECT_GE(lease.machine.hierarchy().l1d().geometry().ways(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsc::core

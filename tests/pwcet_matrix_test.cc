@@ -120,7 +120,7 @@ TEST(PwcetMatrixProtocol, RandomizedBoundIsStableAcrossPrefixes) {
 
 TEST(PwcetExceedance, WorkerCountInvariantAndWellFormed) {
 #ifndef NDEBUG
-  // The floor is 120 runs x 40 cells, twice; minutes under Debug/ASan.
+  // The floor is 120 runs x 70 cells, twice; minutes under Debug/ASan.
   // The Release CI jobs carry this contract.
   GTEST_SKIP() << "pwcet_exceedance determinism runs in Release builds only";
 #endif
@@ -145,11 +145,16 @@ TEST(PwcetExceedance, WorkerCountInvariantAndWellFormed) {
   EXPECT_NE(w1.find("\"gpd_pot\""), std::string::npos);
 }
 
-TEST(PolicyHelpers, RandomizedClassifiesModuloOnly) {
+TEST(PolicyHelpers, RandomizedClassifiesDeterministicPlatforms) {
+  // The two platforms with no timing randomness to model: modulo (one
+  // fixed layout) and timecache (quantization, layout-independent cost).
   EXPECT_FALSE(core::randomized(core::PlacementPolicy::kModulo));
+  EXPECT_FALSE(core::randomized(core::PlacementPolicy::kTimeCache));
   EXPECT_TRUE(core::randomized(core::PlacementPolicy::kHashRp));
   EXPECT_TRUE(core::randomized(core::PlacementPolicy::kRpCache));
   EXPECT_TRUE(core::randomized(core::PlacementPolicy::kRandomModulo));
+  EXPECT_TRUE(core::randomized(core::PlacementPolicy::kClepsydra));
+  EXPECT_TRUE(core::randomized(core::PlacementPolicy::kRandomAndSafe));
 }
 
 }  // namespace

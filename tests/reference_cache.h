@@ -20,16 +20,20 @@
 //     definition);
 //   * the RPCache secure-contention rule, way partitions with their
 //     shared round-robin cursors, write-back/write-allocate variants and
-//     flush bookkeeping follow the documented semantics line by line.
+//     flush bookkeeping follow the documented semantics line by line;
+//   * the random-fill path (Random-and-Safe / Liu & Lee) and the
+//     ClepsydraCache TTL mechanism (per-line lifetimes, lazy expiry of the
+//     probed set, refresh on hit) are restated from their documented
+//     semantics, consuming rng draws at exactly the production points: the
+//     random neighbour line before any victim draw, the TTL draw after the
+//     fill's victim/contention draws.
 //
-// Random decisions (random replacement, NMRU, contention evictions) draw
-// from an Rng the caller supplies; feeding the reference and the production
-// cache generators seeded identically replays the exact decision sequence,
-// so the comparison is exact equality of every AccessResult field and of
-// the final statistics - not a statistical similarity.
-//
-// Deliberately unsupported (out of the differential matrix): random-fill
-// caches (random_fill_window > 0).
+// Random decisions (random replacement, NMRU, contention evictions,
+// random-fill targets, TTL lifetimes) draw from an Rng the caller
+// supplies; feeding the reference and the production cache generators
+// seeded identically replays the exact decision sequence, so the
+// comparison is exact equality of every AccessResult field and of the
+// final statistics - not a statistical similarity.
 #pragma once
 
 #include <cassert>
@@ -64,6 +68,7 @@ class ReferenceCache {
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
     std::uint64_t contention_evictions = 0;
+    std::uint64_t ttl_expirations = 0;
     std::uint64_t flushes = 0;
     std::uint64_t flushed_lines = 0;
   };
@@ -74,9 +79,8 @@ class ReferenceCache {
         ways_(spec.config.geometry.ways()),
         mapper_(make_reference_mapper(spec)),
         rng_(std::move(rng)) {
-    assert(spec.config.random_fill_window == 0 &&
-           "the reference model does not cover random-fill caches");
     secure_contention_ = mapper_->secure_contention_policy();
+    ttl_enabled_ = spec.config.ttl_max > 0;
   }
 
   Result access(ProcId proc, Addr addr, bool write) {
@@ -88,13 +92,31 @@ class ReferenceCache {
     result.set = set;
     std::vector<Entry>& entries = set_entries(set);
 
-    // Lookup: first matching valid way, in way order.
+    // TTL (ClepsydraCache): tick the access clock, then lazily reclaim
+    // expired lines of the probed set in way order, before the lookup -
+    // a dead line must not hit.  Expirations are their own statistic (a
+    // dirty one still writes back); the demand access's Result is
+    // untouched.
+    if (ttl_enabled_) {
+      ++ttl_clock_;
+      for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (entries[w].valid && entries[w].expiry <= ttl_clock_) {
+          ++stats_.ttl_expirations;
+          if (entries[w].dirty) ++stats_.writebacks;
+          entries[w] = Entry{};
+        }
+      }
+    }
+
+    // Lookup: first matching valid way, in way order.  A TTL hit refreshes
+    // the line's expiry by its own stored lifetime (no rng draw).
     for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (entries[w].valid && entries[w].line == line) {
+      if (entries[w].valid && entries[w].line == (line & kTagMask)) {
         ++stats_.hits;
         result.hit = true;
         touch(set, w);
         if (write && spec_.config.write_back) entries[w].dirty = true;
+        if (ttl_enabled_) entries[w].expiry = ttl_clock_ + entries[w].ttl;
         return result;
       }
     }
@@ -105,56 +127,24 @@ class ReferenceCache {
       return result;
     }
 
-    // Way range: the process's partition if one is installed, else all ways.
-    std::uint32_t first = 0;
-    std::uint32_t count = ways_;
-    bool partitioned = false;
-    if (const auto it = partitions_.find(proc.value);
-        it != partitions_.end()) {
-      first = it->second.first;
-      count = it->second.second;
-      partitioned = true;
+    // Random-fill (Random-and-Safe / Liu & Lee): a read miss is served
+    // around the cache; a uniformly drawn line within +/- window of the
+    // demanded one is filled instead, unless already resident.  The
+    // neighbour draw comes FIRST (before any victim draw the fill may
+    // make), matching the production order.
+    if (spec_.config.random_fill_window > 0 && !write) {
+      const std::uint32_t window = spec_.config.random_fill_window;
+      const std::uint64_t span = 2ULL * window + 1;
+      const Addr fill_line = line - window + rng_->next_below(span);
+      const std::uint32_t fill_set = mapper_->map(fill_line, proc);
+      if (!contains_line(fill_line, fill_set)) {
+        allocate(proc, fill_line, fill_set, /*dirty=*/false, result);
+      }
+      result.allocated = false;
+      return result;
     }
 
-    // Prefer the lowest-numbered invalid way in range.
-    std::uint32_t way = ways_;
-    for (std::uint32_t w = first; w < first + count; ++w) {
-      if (!entries[w].valid) {
-        way = w;
-        break;
-      }
-    }
-
-    if (way == ways_) {  // range full: pick a victim
-      if (partitioned) {
-        // Inside a partition the global replacement metadata cannot be
-        // trusted; the cache round-robins through the range with one
-        // cursor per set, shared by every partitioned process.
-        way = first + (partition_rr_[set]++ % count);
-      } else {
-        way = pick_victim(set);
-      }
-      if (secure_contention_ && entries[way].valid &&
-          entries[way].owner != proc.value) {
-        // RPCache rule: evicting another process's line would leak its set
-        // usage; disturb a random (set, way) instead and do not allocate.
-        ++stats_.contention_evictions;
-        const auto rset =
-            static_cast<std::uint32_t>(rng_->next_below(geo_.sets()));
-        const auto rway = static_cast<std::uint32_t>(rng_->next_below(ways_));
-        std::vector<Entry>& rentries = set_entries(rset);
-        if (rentries[rway].valid) evict_entry(rentries[rway], result);
-        result.allocated = false;
-        return result;
-      }
-      evict_entry(entries[way], result);
-    }
-
-    entries[way].line = line;
-    entries[way].valid = true;
-    entries[way].dirty = write && spec_.config.write_back;
-    entries[way].owner = proc.value;
-    fill(set, way);
+    allocate(proc, line, set, write && spec_.config.write_back, result);
     return result;
   }
 
@@ -200,12 +190,101 @@ class ReferenceCache {
   }
 
  private:
+  /// Production tags pack lines as (line << 1) | valid: the top line bit is
+  /// not part of the tag identity, so lines aliasing in their low 63 bits
+  /// match the same tag and evicted_line comes back masked.  Set mapping
+  /// still sees the full 64-bit line.  Only the random-fill neighbour draw
+  /// can wrap below zero and produce such lines; the model reproduces the
+  /// aliasing exactly rather than widening the tag.
+  static constexpr Addr kTagMask = (Addr{1} << 63) - 1;
+
   struct Entry {
     Addr line = 0;
     bool valid = false;
     bool dirty = false;
     std::uint32_t owner = 0;
+    std::uint64_t expiry = 0;  ///< TTL caches: clock value at which it dies
+    std::uint32_t ttl = 0;     ///< TTL caches: drawn lifetime (for refresh)
   };
+
+  /// The miss-side allocation: partition-aware way choice, the RPCache
+  /// contention rule, eviction bookkeeping, install, replacement fill and
+  /// (on TTL caches) the lifetime draw - shared by the demand path and the
+  /// random-fill path, exactly as the production fill_impl is.
+  void allocate(ProcId proc, Addr line, std::uint32_t set, bool dirty,
+                Result& result) {
+    std::vector<Entry>& entries = set_entries(set);
+
+    // Way range: the process's partition if one is installed, else all ways.
+    std::uint32_t first = 0;
+    std::uint32_t count = ways_;
+    bool partitioned = false;
+    if (const auto it = partitions_.find(proc.value);
+        it != partitions_.end()) {
+      first = it->second.first;
+      count = it->second.second;
+      partitioned = true;
+    }
+
+    // Prefer the lowest-numbered invalid way in range.
+    std::uint32_t way = ways_;
+    for (std::uint32_t w = first; w < first + count; ++w) {
+      if (!entries[w].valid) {
+        way = w;
+        break;
+      }
+    }
+
+    if (way == ways_) {  // range full: pick a victim
+      if (partitioned) {
+        // Inside a partition the global replacement metadata cannot be
+        // trusted; the cache round-robins through the range with one
+        // cursor per set, shared by every partitioned process.
+        way = first + (partition_rr_[set]++ % count);
+      } else {
+        way = pick_victim(set);
+      }
+      if (secure_contention_ && entries[way].valid &&
+          entries[way].owner != proc.value) {
+        // RPCache rule: evicting another process's line would leak its set
+        // usage; disturb a random (set, way) instead and do not allocate.
+        ++stats_.contention_evictions;
+        const auto rset =
+            static_cast<std::uint32_t>(rng_->next_below(geo_.sets()));
+        const auto rway = static_cast<std::uint32_t>(rng_->next_below(ways_));
+        std::vector<Entry>& rentries = set_entries(rset);
+        if (rentries[rway].valid) evict_entry(rentries[rway], result);
+        result.allocated = false;
+        return;
+      }
+      evict_entry(entries[way], result);
+    }
+
+    entries[way].line = line & kTagMask;
+    entries[way].valid = true;
+    entries[way].dirty = dirty;
+    entries[way].owner = proc.value;
+    fill(set, way);
+    if (ttl_enabled_) {
+      // TTL draw last, after any victim/contention draw of this fill.
+      const std::uint64_t span =
+          std::uint64_t{spec_.config.ttl_max} - spec_.config.ttl_min + 1;
+      const auto ttl = static_cast<std::uint32_t>(spec_.config.ttl_min +
+                                                  rng_->next_below(span));
+      entries[way].ttl = ttl;
+      entries[way].expiry = ttl_clock_ + ttl;
+    }
+  }
+
+  [[nodiscard]] bool contains_line(Addr line, std::uint32_t set) {
+    const std::vector<Entry>& entries = set_entries(set);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (entries[w].valid && entries[w].line == (line & kTagMask)) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   /// The same mapper construction the builder performs, restated here so
   /// the oracle does not depend on build_cache's wiring.
@@ -361,6 +440,8 @@ class ReferenceCache {
   std::unique_ptr<IndexMapper> mapper_;
   std::shared_ptr<rng::Rng> rng_;
   bool secure_contention_ = false;
+  bool ttl_enabled_ = false;
+  std::uint64_t ttl_clock_ = 0;  ///< survives flush(), like the production clock
   Stats stats_;
 
   std::map<std::uint32_t, std::vector<Entry>> lines_;
