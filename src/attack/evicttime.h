@@ -45,6 +45,10 @@
 #include "sim/machine.h"
 #include "stats/mi.h"
 
+namespace tsc::runner {
+struct ProfileCodec;  // exact checkpoint serialization (runner/codecs.cc)
+}
+
 namespace tsc::attack {
 
 /// Attacker-controlled memory image for the eviction groups.
@@ -104,6 +108,8 @@ class EvictTimeProfile {
   [[nodiscard]] std::uint32_t sets() const { return sets_; }
 
  private:
+  friend struct tsc::runner::ProfileCodec;
+
   [[nodiscard]] std::size_t idx(int pos, int value, std::uint32_t set) const {
     return (static_cast<std::size_t>(pos) * kValues +
             static_cast<std::size_t>(value)) *

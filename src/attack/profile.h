@@ -14,6 +14,10 @@
 
 #include "crypto/aes.h"
 
+namespace tsc::runner {
+struct ProfileCodec;  // exact checkpoint serialization (runner/codecs.cc)
+}
+
 namespace tsc::attack {
 
 /// Per-(position, value) aggregated timing statistics.
@@ -53,6 +57,8 @@ class TimingProfile {
   [[nodiscard]] std::vector<double> deviation_row(int pos) const;
 
  private:
+  friend struct tsc::runner::ProfileCodec;
+
   std::array<std::array<double, kValues>, kPositions> sums_{};
   std::array<std::array<std::uint64_t, kValues>, kPositions> counts_{};
   double total_sum_ = 0;

@@ -1,0 +1,375 @@
+#include "runner/checkpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace tsc::runner {
+namespace {
+
+constexpr char kMagic[6] = {'T', 'S', 'C', 'K', 'P', 'T'};
+// Byte offset of the fixed little-endian u32 version field: right after the
+// magic.  Kept stable so tests can patch it to exercise version rejection.
+constexpr std::size_t kVersionOffset = sizeof(kMagic);
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw CheckpointError("cannot open '" + tmp + "' for writing");
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      throw CheckpointError("short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+// --- Checkpoint --------------------------------------------------------------
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw CheckpointError("cannot read checkpoint '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw = buf.str();
+  const auto* data = reinterpret_cast<const std::uint8_t*>(raw.data());
+
+  if (raw.size() < kVersionOffset + 4 ||
+      std::char_traits<char>::compare(raw.data(), kMagic, sizeof(kMagic)) !=
+          0) {
+    throw CheckpointError("'" + path + "' is not a tsc checkpoint");
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(data[kVersionOffset + i]) << (8 * i);
+  }
+  if (version != kCheckpointVersion) {
+    throw CheckpointError(
+        "checkpoint '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kCheckpointVersion) + " - delete it and rerun");
+  }
+
+  ByteReader reader(data + kVersionOffset + 4, raw.size() - kVersionOffset - 4);
+  Checkpoint out;
+  out.experiment_ = reader.string();
+  out.fingerprint_ = reader.string();
+  const std::uint64_t stage_count = reader.varint();
+  for (std::uint64_t s = 0; s < stage_count; ++s) {
+    const std::string name = reader.string();
+    Stage& stage = out.stages_[name];
+    stage.task_count = static_cast<std::size_t>(reader.varint());
+    const std::uint64_t records = reader.varint();
+    for (std::uint64_t r = 0; r < records; ++r) {
+      const auto task = static_cast<std::size_t>(reader.varint());
+      const auto size = static_cast<std::size_t>(reader.varint());
+      const std::uint8_t* payload = reader.bytes(size);
+      const std::uint64_t stored_sum = reader.fixed64();
+      if (fnv1a64(payload, size) != stored_sum) {
+        // A torn or corrupted record: drop it (the shard re-runs) but keep
+        // the rest of the checkpoint usable.
+        std::fprintf(stderr,
+                     "[checkpoint] dropping corrupt record %s/%zu from %s\n",
+                     name.c_str(), task, path.c_str());
+        continue;
+      }
+      stage.records[task].assign(payload, payload + size);
+    }
+  }
+  return out;
+}
+
+void Checkpoint::save(const std::string& path) const {
+  ByteWriter writer;
+  writer.put_bytes(reinterpret_cast<const std::uint8_t*>(kMagic),
+                   sizeof(kMagic));
+  writer.put_fixed64(0);  // placeholder; rewritten below
+  // put_fixed64 wrote 8 bytes; the format wants a fixed u32 version at
+  // kVersionOffset followed directly by the body, so build the header by
+  // hand instead.
+  std::vector<std::uint8_t> head = std::move(writer).take();
+  head.resize(kVersionOffset);
+  for (int i = 0; i < 4; ++i) {
+    head.push_back(
+        static_cast<std::uint8_t>(kCheckpointVersion >> (8 * i)));
+  }
+
+  ByteWriter body;
+  body.put_string(experiment_);
+  body.put_string(fingerprint_);
+  body.put_varint(stages_.size());
+  for (const auto& [name, stage] : stages_) {
+    body.put_string(name);
+    body.put_varint(stage.task_count);
+    body.put_varint(stage.records.size());
+    for (const auto& [task, payload] : stage.records) {
+      body.put_varint(task);
+      body.put_varint(payload.size());
+      body.put_bytes(payload.data(), payload.size());
+      body.put_fixed64(fnv1a64(payload.data(), payload.size()));
+    }
+  }
+
+  std::string contents(reinterpret_cast<const char*>(head.data()),
+                       head.size());
+  contents.append(reinterpret_cast<const char*>(body.bytes().data()),
+                  body.bytes().size());
+  atomic_write_file(path, contents);
+}
+
+void Checkpoint::check_task_count(const Stage& stage,
+                                  std::size_t task_count) const {
+  if (stage.task_count != task_count) {
+    throw CheckpointError(
+        "checkpoint stage task count " + std::to_string(stage.task_count) +
+        " does not match this campaign's shard plan (" +
+        std::to_string(task_count) +
+        ") - the checkpoint was produced by a different configuration");
+  }
+}
+
+void Checkpoint::put(const std::string& stage_name, std::size_t task_count,
+                     std::size_t task, std::vector<std::uint8_t> payload) {
+  Stage& stage = stages_[stage_name];
+  if (stage.records.empty() && stage.task_count == 0) {
+    stage.task_count = task_count;
+  }
+  check_task_count(stage, task_count);
+  stage.records[task] = std::move(payload);
+}
+
+const std::vector<std::uint8_t>* Checkpoint::find(const std::string& stage_name,
+                                                  std::size_t task_count,
+                                                  std::size_t task) const {
+  const auto it = stages_.find(stage_name);
+  if (it == stages_.end()) return nullptr;
+  check_task_count(it->second, task_count);
+  const auto rec = it->second.records.find(task);
+  return rec == it->second.records.end() ? nullptr : &rec->second;
+}
+
+std::size_t Checkpoint::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, stage] : stages_) n += stage.records.size();
+  return n;
+}
+
+// --- FtSession ---------------------------------------------------------------
+
+FtSession::FtSession(FtOptions options, std::string experiment,
+                     std::string fingerprint)
+    : options_(std::move(options)), injector_(options_.fault) {
+  if (options_.resume && !options_.checkpoint_path.empty()) {
+    bool exists = false;
+    {
+      std::ifstream probe(options_.checkpoint_path, std::ios::binary);
+      exists = probe.good();
+    }
+    if (exists) {
+      checkpoint_ = Checkpoint::load(options_.checkpoint_path);
+      if (checkpoint_.experiment() != experiment) {
+        throw CheckpointError("checkpoint is for experiment '" +
+                              checkpoint_.experiment() + "', not '" +
+                              experiment + "'");
+      }
+      if (checkpoint_.fingerprint() != fingerprint) {
+        throw CheckpointError(
+            "checkpoint fingerprint [" + checkpoint_.fingerprint() +
+            "] does not match this invocation [" + fingerprint +
+            "] - resume with the original --samples/--seed/--shard-size");
+      }
+      std::fprintf(stderr, "[checkpoint] resuming: %zu completed shard(s)\n",
+                   checkpoint_.record_count());
+      return;
+    }
+    std::fprintf(stderr,
+                 "[checkpoint] no checkpoint at %s; starting fresh\n",
+                 options_.checkpoint_path.c_str());
+  }
+  checkpoint_ = Checkpoint(std::move(experiment), std::move(fingerprint));
+}
+
+void FtSession::flush() {
+  if (options_.checkpoint_path.empty()) return;
+  checkpoint_.save(options_.checkpoint_path);
+  unflushed_ = 0;
+}
+
+std::vector<std::optional<std::vector<std::uint8_t>>> FtSession::run_stage(
+    const std::string& stage, ThreadPool& pool, std::size_t count,
+    const std::function<std::vector<std::uint8_t>(std::size_t)>&
+        run_encoded) {
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  std::vector<std::optional<std::vector<std::uint8_t>>> payloads(count);
+
+  // Shards already completed by a previous (interrupted) run.
+  std::deque<std::pair<std::size_t, int>> queue;  // (task, attempt)
+  for (std::size_t i = 0; i < count; ++i) {
+    if (const std::vector<std::uint8_t>* rec =
+            checkpoint_.find(stage, count, i)) {
+      payloads[i] = *rec;
+    } else {
+      queue.emplace_back(i, 0);
+    }
+  }
+
+  struct InFlight {
+    std::size_t task;
+    int attempt;
+    std::future<std::vector<std::uint8_t>> future;
+    Clock::time_point deadline;
+  };
+  std::vector<InFlight> inflight;
+  std::vector<std::future<std::vector<std::uint8_t>>> abandoned;
+  const std::size_t width = std::max(1u, pool.size());
+  bool draining = false;
+  std::exception_ptr abort_error;
+
+  const auto launch = [&](std::size_t task, int attempt) {
+    const Clock::time_point deadline =
+        options_.watchdog_ms > 0
+            ? Clock::now() + std::chrono::milliseconds(options_.watchdog_ms)
+            : Clock::time_point::max();
+    inflight.push_back(
+        {task, attempt, pool.submit([this, task, attempt, &run_encoded] {
+           injector_.on_task_start(task, attempt);
+           return run_encoded(task);
+         }),
+         deadline});
+  };
+
+  // A failed attempt either re-queues (budget left), records an incomplete
+  // shard (--allow-partial) or aborts the stage with the checkpoint flushed.
+  const auto attempt_failed = [&](std::size_t task, int attempt,
+                                  const std::string& why) {
+    ++failed_attempts_;
+    if (attempt + 1 < options_.max_attempts) {
+      std::fprintf(stderr, "[fault] %s/%zu attempt %d failed (%s); retrying\n",
+                   stage.c_str(), task, attempt, why.c_str());
+      queue.emplace_front(task, attempt + 1);
+      return;
+    }
+    if (options_.allow_partial) {
+      std::fprintf(stderr,
+                   "[fault] %s/%zu exhausted %d attempts (%s); recording as "
+                   "incomplete\n",
+                   stage.c_str(), task, options_.max_attempts, why.c_str());
+      incomplete_.push_back({stage, task, why});
+      return;
+    }
+    if (!abort_error) {
+      abort_error = std::make_exception_ptr(CampaignAborted(
+          "shard " + stage + "/" + std::to_string(task) + " failed after " +
+          std::to_string(options_.max_attempts) + " attempts: " + why));
+    }
+    draining = true;  // finish in-flight shards, flush, then throw
+  };
+
+  while (!inflight.empty() || (!queue.empty() && !draining)) {
+    if (interrupt_requested()) draining = true;
+    while (!draining && !queue.empty() && inflight.size() < width) {
+      const auto [task, attempt] = queue.front();
+      queue.pop_front();
+      launch(task, attempt);
+    }
+
+    bool progressed = false;
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (it->future.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        const std::size_t task = it->task;
+        const int attempt = it->attempt;
+        auto future = std::move(it->future);
+        it = inflight.erase(it);
+        progressed = true;
+        try {
+          std::vector<std::uint8_t> payload = future.get();
+          const std::uint64_t sum = fnv1a64(payload.data(), payload.size());
+          if (injector_.maybe_corrupt(task, attempt, payload) &&
+              fnv1a64(payload.data(), payload.size()) != sum) {
+            attempt_failed(task, attempt, "payload checksum mismatch");
+            continue;
+          }
+          if (checkpointing) {
+            checkpoint_.put(stage, count, task, payload);
+            if (++unflushed_ >= options_.checkpoint_every) flush();
+          }
+          payloads[task] = std::move(payload);
+          ++completed_;
+          if (options_.stop_after > 0 && completed_ >= options_.stop_after) {
+            request_interrupt();  // the TSC_STOP_AFTER "kill" seam
+          }
+        } catch (const std::exception& e) {
+          attempt_failed(task, attempt, e.what());
+        }
+      } else if (Clock::now() >= it->deadline) {
+        // Watchdog: abandon the hung attempt (cancelling injected hangs so
+        // the worker thread comes back) and re-queue the shard.
+        injector_.cancel_hangs();
+        abandoned.push_back(std::move(it->future));
+        const std::size_t task = it->task;
+        const int attempt = it->attempt;
+        it = inflight.erase(it);
+        progressed = true;
+        attempt_failed(task, attempt,
+                       "watchdog timeout after " +
+                           std::to_string(options_.watchdog_ms) + "ms");
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed && !inflight.empty()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+
+  // Give abandoned attempts a bounded chance to unwind (injected hangs
+  // finish promptly once cancelled; a genuinely wedged thread is only
+  // reclaimed at process exit - see docs/fault_tolerance.md).
+  if (!abandoned.empty()) {
+    injector_.cancel_hangs();
+    for (auto& future : abandoned) {
+      (void)future.wait_for(std::chrono::seconds(5));
+    }
+  }
+
+  if (unflushed_ > 0) flush();
+  if (abort_error) {
+    std::rethrow_exception(abort_error);
+  }
+  if (interrupt_requested()) {
+    throw Interrupted(
+        checkpointing
+            ? "campaign interrupted; checkpoint flushed, rerun with --resume"
+            : "campaign interrupted (no --checkpoint: progress discarded)");
+  }
+  return payloads;
+}
+
+}  // namespace tsc::runner

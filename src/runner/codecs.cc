@@ -1,0 +1,164 @@
+#include "runner/codecs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsc::runner {
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) throw CheckpointError(what);
+}
+
+}  // namespace
+
+// --- ProfileCodec ------------------------------------------------------------
+
+void ProfileCodec::put(ByteWriter& w, const attack::TimingProfile& p) {
+  for (const auto& row : p.sums_) {
+    for (const double v : row) w.put_f64(v);
+  }
+  for (const auto& row : p.counts_) {
+    for (const std::uint64_t v : row) w.put_varint(v);
+  }
+  w.put_f64(p.total_sum_);
+  w.put_varint(p.total_count_);
+}
+
+attack::TimingProfile ProfileCodec::get_timing(ByteReader& r) {
+  attack::TimingProfile p;
+  for (auto& row : p.sums_) {
+    for (double& v : row) v = r.f64();
+  }
+  for (auto& row : p.counts_) {
+    for (std::uint64_t& v : row) v = r.varint();
+  }
+  p.total_sum_ = r.f64();
+  p.total_count_ = r.varint();
+  return p;
+}
+
+void ProfileCodec::put(ByteWriter& w, const attack::PrimeProbeProfile& p) {
+  w.put_varint(p.sets_);
+  w.put_varint(p.sums_.size());
+  for (const std::uint64_t v : p.sums_) w.put_varint(v);
+  for (const auto& row : p.counts_) {
+    for (const std::uint64_t v : row) w.put_varint(v);
+  }
+  w.put_varint(p.total_trials_);
+}
+
+attack::PrimeProbeProfile ProfileCodec::get_prime_probe(ByteReader& r) {
+  const auto sets = static_cast<std::uint32_t>(r.varint());
+  check(sets > 0, "prime-probe profile payload has zero sets");
+  attack::PrimeProbeProfile p(sets);
+  const auto n = static_cast<std::size_t>(r.varint());
+  check(n == p.sums_.size(), "prime-probe profile payload size mismatch");
+  for (std::uint64_t& v : p.sums_) v = r.varint();
+  for (auto& row : p.counts_) {
+    for (std::uint64_t& v : row) v = r.varint();
+  }
+  p.total_trials_ = r.varint();
+  return p;
+}
+
+void ProfileCodec::put(ByteWriter& w, const attack::EvictTimeProfile& p) {
+  w.put_varint(p.sets_);
+  w.put_varint(p.sums_.size());
+  for (const std::uint64_t v : p.sums_) w.put_varint(v);
+  for (const std::uint32_t v : p.counts_) w.put_varint(v);
+  w.put_varint(p.total_trials_);
+}
+
+attack::EvictTimeProfile ProfileCodec::get_evict_time(ByteReader& r) {
+  const auto sets = static_cast<std::uint32_t>(r.varint());
+  check(sets > 0, "evict-time profile payload has zero sets");
+  attack::EvictTimeProfile p(sets);
+  const auto n = static_cast<std::size_t>(r.varint());
+  check(n == p.sums_.size(), "evict-time profile payload size mismatch");
+  for (std::uint64_t& v : p.sums_) v = r.varint();
+  for (std::uint32_t& v : p.counts_) v = static_cast<std::uint32_t>(r.varint());
+  p.total_trials_ = r.varint();
+  return p;
+}
+
+// --- composite values --------------------------------------------------------
+
+void put_doubles(ByteWriter& w, const std::vector<double>& v) {
+  w.put_varint(v.size());
+  for (const double x : v) w.put_f64(x);
+}
+
+std::vector<double> get_doubles(ByteReader& r) {
+  const auto n = static_cast<std::size_t>(r.varint());
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(r.f64());
+  return v;
+}
+
+void put_joint_histogram(ByteWriter& w, const stats::JointHistogram& h) {
+  w.put_varint(h.x_classes());
+  w.put_varint(h.y_bins());
+  for (std::size_t x = 0; x < h.x_classes(); ++x) {
+    for (std::size_t y = 0; y < h.y_bins(); ++y) w.put_varint(h.cell(x, y));
+  }
+}
+
+stats::JointHistogram get_joint_histogram(ByteReader& r) {
+  const auto x_classes = static_cast<std::size_t>(r.varint());
+  const auto y_bins = static_cast<std::size_t>(r.varint());
+  check(x_classes > 0 && y_bins > 0, "joint histogram payload has zero dims");
+  stats::JointHistogram h(x_classes, y_bins);
+  for (std::size_t x = 0; x < x_classes; ++x) {
+    for (std::size_t y = 0; y < y_bins; ++y) {
+      if (const std::uint64_t n = r.varint(); n > 0) h.add(x, y, n);
+    }
+  }
+  return h;
+}
+
+void put_pp_outcome(ByteWriter& w, const attack::PrimeProbeOutcome& o) {
+  ProfileCodec::put(w, o.profile);
+  put_joint_histogram(w, o.channel);
+}
+
+attack::PrimeProbeOutcome get_pp_outcome(ByteReader& r) {
+  attack::PrimeProbeProfile profile = ProfileCodec::get_prime_probe(r);
+  stats::JointHistogram channel = get_joint_histogram(r);
+  attack::PrimeProbeOutcome out(profile.sets(), 1);
+  out.profile = std::move(profile);
+  out.channel = std::move(channel);
+  return out;
+}
+
+void put_et_outcome(ByteWriter& w, const attack::EvictTimeOutcome& o) {
+  ProfileCodec::put(w, o.profile);
+  put_joint_histogram(w, o.channel);
+}
+
+attack::EvictTimeOutcome get_et_outcome(ByteReader& r) {
+  attack::EvictTimeProfile profile = ProfileCodec::get_evict_time(r);
+  stats::JointHistogram channel = get_joint_histogram(r);
+  attack::EvictTimeOutcome out(profile.sets(), 1);
+  out.profile = std::move(profile);
+  out.channel = std::move(channel);
+  return out;
+}
+
+void put_side_result(ByteWriter& w, const core::SideResult& s) {
+  ProfileCodec::put(w, s.profile);
+  put_doubles(w, s.timings);
+  w.put_bytes(s.key.data(), s.key.size());
+}
+
+core::SideResult get_side_result(ByteReader& r) {
+  core::SideResult s;
+  s.profile = ProfileCodec::get_timing(r);
+  s.timings = get_doubles(r);
+  const std::uint8_t* key = r.bytes(s.key.size());
+  std::copy(key, key + s.key.size(), s.key.begin());
+  return s;
+}
+
+}  // namespace tsc::runner

@@ -1,0 +1,56 @@
+// Exact byte codecs for the campaign accumulators.
+//
+// Checkpoint payloads must round-trip BIT-FOR-BIT: the fault-tolerant
+// runner decodes every shard result from its encoded payload (fresh or
+// resumed alike), so any lossy step would break the byte-identity contract
+// between interrupted and uninterrupted campaigns.  Doubles are therefore
+// stored as IEEE-754 bit patterns and integer accumulators as LEB128
+// varints (profile arrays are mostly zeros and small counts - a dense
+// attack-matrix record is megabytes, varint-packed it is a few percent of
+// that).
+//
+// ProfileCodec is befriended by the attack profiles so their private
+// accumulator state serializes without widening their public API.
+#pragma once
+
+#include <vector>
+
+#include "attack/evicttime.h"
+#include "attack/primeprobe.h"
+#include "attack/profile.h"
+#include "core/campaign.h"
+#include "runner/checkpoint.h"
+#include "stats/mi.h"
+
+namespace tsc::runner {
+
+/// Friend-door serializer for the private accumulator state of the three
+/// attack profiles.  Each get_* reconstructs an object whose every member
+/// equals the encoded original.
+struct ProfileCodec {
+  static void put(ByteWriter& w, const attack::TimingProfile& p);
+  [[nodiscard]] static attack::TimingProfile get_timing(ByteReader& r);
+
+  static void put(ByteWriter& w, const attack::PrimeProbeProfile& p);
+  [[nodiscard]] static attack::PrimeProbeProfile get_prime_probe(ByteReader& r);
+
+  static void put(ByteWriter& w, const attack::EvictTimeProfile& p);
+  [[nodiscard]] static attack::EvictTimeProfile get_evict_time(ByteReader& r);
+};
+
+void put_doubles(ByteWriter& w, const std::vector<double>& v);
+[[nodiscard]] std::vector<double> get_doubles(ByteReader& r);
+
+void put_joint_histogram(ByteWriter& w, const stats::JointHistogram& h);
+[[nodiscard]] stats::JointHistogram get_joint_histogram(ByteReader& r);
+
+void put_pp_outcome(ByteWriter& w, const attack::PrimeProbeOutcome& o);
+[[nodiscard]] attack::PrimeProbeOutcome get_pp_outcome(ByteReader& r);
+
+void put_et_outcome(ByteWriter& w, const attack::EvictTimeOutcome& o);
+[[nodiscard]] attack::EvictTimeOutcome get_et_outcome(ByteReader& r);
+
+void put_side_result(ByteWriter& w, const core::SideResult& s);
+[[nodiscard]] core::SideResult get_side_result(ByteReader& r);
+
+}  // namespace tsc::runner

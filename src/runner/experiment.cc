@@ -1,10 +1,14 @@
 #include "runner/experiment.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+
+#include "runner/fault.h"
 
 namespace tsc::runner {
 
@@ -38,7 +42,31 @@ void print_usage(std::FILE* out) {
                "                      the deterministic decomposition\n"
                "  --fast              smoke scale (standard / 8)\n"
                "  --json              compact single-line JSON on stdout\n"
-               "  --list              list experiments and exit\n");
+               "  --output FILE       write the JSON atomically to FILE (temp\n"
+               "                      file + rename) instead of stdout\n"
+               "  --list              list experiments and exit\n"
+               "\n"
+               "fault tolerance (docs/fault_tolerance.md):\n"
+               "  --checkpoint FILE   flush completed shards to FILE; SIGINT/\n"
+               "                      SIGTERM drain in-flight shards, flush and\n"
+               "                      exit 75 (resumable)\n"
+               "  --resume            skip shards already in --checkpoint FILE;\n"
+               "                      the final JSON is byte-identical to an\n"
+               "                      uninterrupted run\n"
+               "  --checkpoint-every N  flush cadence in completed shards\n"
+               "                      (default 8)\n"
+               "  --max-attempts N    per-shard attempt budget (default 3)\n"
+               "  --watchdog-ms N     abandon + re-queue shards running longer\n"
+               "                      than N ms (default 0 = off)\n"
+               "  --allow-partial     after retries are exhausted, emit the\n"
+               "                      merged result with an incomplete_shards\n"
+               "                      manifest (exit 4) instead of failing\n"
+               "  --inject-fault SPEC deterministic fault injection for tests:\n"
+               "                      shard=K,kind=throw|hang|corrupt[,times=N]\n"
+               "\n"
+               "exit codes: 0 ok; 1 experiment failed; 2 usage error;\n"
+               "            4 partial result emitted; 75 interrupted,\n"
+               "            checkpoint flushed (rerun with --resume)\n");
 }
 
 bool parse_u64(const char* s, std::uint64_t& out) {
@@ -51,9 +79,29 @@ bool parse_u64(const char* s, std::uint64_t& out) {
 
 }  // namespace
 
+std::string ft_fingerprint(const RunOptions& options) {
+  // Every knob that shapes the shard plan or the computed numbers - and
+  // NEVER the worker count, which is a pure throughput choice.  The
+  // environment scale seams are folded in so a checkpoint written under
+  // TSC_SAMPLES/TSC_FAST cannot silently resume without them.
+  std::string fp = "samples=" + std::to_string(options.samples) +
+                   ",seed=" + std::to_string(options.master_seed) +
+                   ",shard-size=" + std::to_string(options.shard_size) +
+                   ",fast=" + (options.fast ? "1" : "0");
+  if (const char* env = std::getenv("TSC_SAMPLES")) {
+    fp += ",env-samples=";
+    fp += env;
+  }
+  if (const char* env = std::getenv("TSC_FAST"); env && env[0] == '1') {
+    fp += ",env-fast=1";
+  }
+  return fp;
+}
+
 int experiment_main(const std::string& name, int argc, char** argv) {
   RunOptions options;
   std::string experiment_name = name;
+  std::string output_path;
   bool compact = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -66,30 +114,50 @@ int experiment_main(const std::string& name, int argc, char** argv) {
       for (const Experiment& e : all_experiments()) {
         std::printf("%-24s %s\n", e.name.c_str(), e.description.c_str());
       }
-      return 0;
+      return kExitOk;
     }
     if (arg == "--help" || arg == "-h") {
       print_usage(stdout);
-      return 0;
+      return kExitOk;
     }
     if (arg == "--json") {
       compact = true;
     } else if (arg == "--fast") {
       options.fast = true;
-    } else if (arg == "--experiment") {
+    } else if (arg == "--resume") {
+      options.ft.resume = true;
+    } else if (arg == "--allow-partial") {
+      options.ft.allow_partial = true;
+    } else if (arg == "--experiment" || arg == "--checkpoint" ||
+               arg == "--output" || arg == "--inject-fault") {
       const char* val = next();
       if (val == nullptr) {
-        std::fprintf(stderr, "--experiment needs a value\n");
-        return 2;
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        return kExitUsage;
       }
-      experiment_name = val;
+      if (arg == "--experiment") {
+        experiment_name = val;
+      } else if (arg == "--checkpoint") {
+        options.ft.checkpoint_path = val;
+      } else if (arg == "--output") {
+        output_path = val;
+      } else {
+        std::string error;
+        const std::optional<FaultSpec> spec = parse_fault_spec(val, &error);
+        if (!spec) {
+          std::fprintf(stderr, "--inject-fault: %s\n", error.c_str());
+          return kExitUsage;
+        }
+        options.ft.fault = *spec;
+      }
     } else if (arg == "--samples" || arg == "--seed" || arg == "--shards" ||
-               arg == "--shard-size") {
+               arg == "--shard-size" || arg == "--checkpoint-every" ||
+               arg == "--max-attempts" || arg == "--watchdog-ms") {
       const char* val = next();
       if (val == nullptr || !parse_u64(val, v)) {
         std::fprintf(stderr, "%s needs an unsigned integer value\n",
                      arg.c_str());
-        return 2;
+        return kExitUsage;
       }
       if (arg == "--samples") {
         options.samples = static_cast<std::size_t>(v);
@@ -97,19 +165,50 @@ int experiment_main(const std::string& name, int argc, char** argv) {
         options.master_seed = v;
       } else if (arg == "--shards") {
         options.workers = static_cast<unsigned>(v);
-      } else {
+      } else if (arg == "--shard-size") {
         options.shard_size = static_cast<std::size_t>(v);
+      } else if (arg == "--checkpoint-every") {
+        options.ft.checkpoint_every = std::max<std::size_t>(1, v);
+      } else if (arg == "--max-attempts") {
+        if (v == 0) {
+          std::fprintf(stderr, "--max-attempts must be at least 1\n");
+          return kExitUsage;
+        }
+        options.ft.max_attempts = static_cast<int>(v);
+      } else {
+        options.ft.watchdog_ms = v;
       }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       print_usage(stderr);
-      return 2;
+      return kExitUsage;
     }
+  }
+
+  if (options.ft.resume && options.ft.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
+    return kExitUsage;
+  }
+
+  // Environment test seams (CI drives these where flags are awkward).
+  if (const char* env = std::getenv("TSC_INJECT_FAULT");
+      env != nullptr && options.ft.fault.kind == FaultKind::kNone) {
+    std::string error;
+    const std::optional<FaultSpec> spec = parse_fault_spec(env, &error);
+    if (!spec) {
+      std::fprintf(stderr, "TSC_INJECT_FAULT: %s\n", error.c_str());
+      return kExitUsage;
+    }
+    options.ft.fault = *spec;
+  }
+  if (const char* env = std::getenv("TSC_STOP_AFTER")) {
+    std::uint64_t n = 0;
+    if (parse_u64(env, n)) options.ft.stop_after = static_cast<std::size_t>(n);
   }
 
   if (experiment_name.empty()) {
     print_usage(stderr);
-    return 2;
+    return kExitUsage;
   }
   const Experiment* experiment = find_experiment(experiment_name);
   if (experiment == nullptr) {
@@ -118,28 +217,85 @@ int experiment_main(const std::string& name, int argc, char** argv) {
     for (const Experiment& e : all_experiments()) {
       std::fprintf(stderr, "  %s\n", e.name.c_str());
     }
-    return 2;
+    return kExitUsage;
+  }
+
+  // A stale flag from a previous in-process run must not abort this one;
+  // handlers are installed only when interruption has somewhere to resume
+  // from (otherwise SIGINT keeps its default kill semantics).
+  clear_interrupt();
+  std::optional<FtSession> session;
+  if (options.ft.enabled()) {
+    if (!options.ft.checkpoint_path.empty()) install_interrupt_handlers();
+    try {
+      session.emplace(options.ft, experiment->name, ft_fingerprint(options));
+    } catch (const CheckpointError& e) {
+      std::fprintf(stderr, "[tsc_run] checkpoint error: %s\n", e.what());
+      return kExitFailure;
+    }
+    options.ft_session = &*session;
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  Json results = experiment->run(options);
+  Json results;
+  try {
+    results = experiment->run(options);
+  } catch (const Interrupted& e) {
+    std::fprintf(stderr, "[tsc_run] %s\n", e.what());
+    return kExitInterrupted;
+  } catch (const CampaignAborted& e) {
+    std::fprintf(stderr, "[tsc_run] %s\n", e.what());
+    return kExitFailure;
+  } catch (const CheckpointError& e) {
+    std::fprintf(stderr, "[tsc_run] checkpoint error: %s\n", e.what());
+    return kExitFailure;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[tsc_run] experiment '%s' failed: %s\n",
+                 experiment->name.c_str(), e.what());
+    return kExitFailure;
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   // The envelope stays a pure function of the experiment inputs: worker
-  // count and wall-clock go to stderr only.
+  // count and wall-clock go to stderr only.  A complete fault-tolerant run
+  // adds nothing to it - byte-identity with the plain path is the whole
+  // point - while a partial run appends an explicit manifest of the shards
+  // that never completed.
   Json doc = Json::object();
   doc.set("experiment", experiment->name)
       .set("description", experiment->description)
       .set("seed", options.master_seed)
       .set("results", std::move(results));
-  std::fputs(doc.dump(compact ? -1 : 2).c_str(), stdout);
-  if (compact) std::fputc('\n', stdout);
+  const bool partial = session && !session->incomplete().empty();
+  if (partial) {
+    Json manifest = Json::array();
+    for (const IncompleteShard& shard : session->incomplete()) {
+      manifest.push(Json::object()
+                        .set("stage", shard.stage)
+                        .set("task", static_cast<std::uint64_t>(shard.task))
+                        .set("reason", shard.reason));
+    }
+    doc.set("incomplete_shards", std::move(manifest));
+  }
+
+  std::string text = doc.dump(compact ? -1 : 2);
+  if (compact) text += '\n';
+  if (output_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    try {
+      atomic_write_file(output_path, text);
+    } catch (const CheckpointError& e) {
+      std::fprintf(stderr, "[tsc_run] --output: %s\n", e.what());
+      return kExitFailure;
+    }
+  }
   std::fprintf(stderr, "[tsc_run] %s finished in %.2fs (workers=%u)\n",
                experiment->name.c_str(), elapsed,
                options.workers);
-  return 0;
+  return partial ? kExitPartial : kExitOk;
 }
 
 }  // namespace tsc::runner

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/checkpoint.h"
 #include "runner/json.h"
 
 namespace tsc::runner {
@@ -30,6 +31,15 @@ struct RunOptions {
   std::size_t shard_size = 25'000;
   /// TSC_FAST-style smoke scaling (divides standard scales by 8).
   bool fast = false;
+
+  /// Fault-tolerance configuration (checkpoint/resume, retries, watchdog,
+  /// fault injection) and the live session experiment_main opens from it.
+  /// Null session (the default) keeps every experiment on the plain
+  /// parallel_map path with zero added cost.  The campaign-shaped
+  /// experiments (fig5, attack_matrix, pwcet_matrix) honour the session;
+  /// the cheap per-run experiments ignore it.
+  FtOptions ft{};
+  FtSession* ft_session = nullptr;
 
   /// Resolve the effective sample count: explicit `samples` wins, then the
   /// TSC_SAMPLES environment override, then `standard` (divided by 8 under

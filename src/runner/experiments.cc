@@ -26,6 +26,7 @@
 #include "isa/kernels.h"
 #include "mbpta/analysis.h"
 #include "os/autosar.h"
+#include "runner/codecs.h"
 #include "runner/experiment.h"
 #include "runner/machine_pool.h"
 #include "runner/sharded.h"
@@ -315,9 +316,12 @@ Json run_fig4(const RunOptions& options) {
 
 Json run_fig5(const RunOptions& options) {
   Json setups = Json::array();
+  // One fault-tolerance stage per setup ("fig5/<setup>"): each is an
+  // independent shard fan-out, checkpointed and resumed separately.
   for (const core::SetupKind kind : core::all_setups()) {
-    const ShardedCampaignResult r =
-        run_sharded_bernstein(kind, sharded_config(options, 200'000));
+    const ShardedCampaignResult r = run_sharded_bernstein(
+        kind, sharded_config(options, 200'000), options.ft_session,
+        std::string("fig5/") + core::to_string(kind));
     setups.push(campaign_json(r));
   }
   Json j = Json::object();
@@ -755,65 +759,121 @@ Json run_attack_matrix(const RunOptions& options) {
     std::optional<attack::EvictTimeOutcome> et;
   };
   const std::size_t per_attack = cells.size() * n_shards;
-  std::vector<TaskResult> parts =
-      parallel_map(pool, 2 * per_attack, [&](std::size_t task) {
-        const bool prime_probe = task % 2 == 0;
-        const std::size_t cell_index = (task / 2) / n_shards;
-        const std::size_t shard = (task / 2) % n_shards;
-        const MatrixCell& cell = cells[cell_index];
-        const std::uint64_t cell_seed =
-            matrix_cell_seed(options.master_seed, cell_index);
-        // Worker-pooled machine, reset to the cell's fresh deployment -
-        // bit-exact with building it, minus the construction cost per task.
-        sim::Machine& machine =
-            MachinePool::local()
-                .policy_machine(cell.policy, cell_seed, cell.partitioned)
-                .machine;
-        crypto::SimAes aes(machine, layout, victim_key);
-        TaskResult result;
-        if (prime_probe) {
-          rng::XorShift64Star pt_rng(
-              rng::derive_seed(cell_seed, 0x9700 + shard));
-          result.pp = attack::run_aes_prime_probe(
-              machine, core::kMatrixVictim, core::kMatrixAttacker, aes,
-              shards[shard], pt_rng, attack::PrimeProbeConfig{});
-        } else {
-          rng::XorShift64Star pt_rng(
-              rng::derive_seed(cell_seed, 0xE7000 + shard));
-          result.et = attack::run_aes_evict_time(
-              machine, core::kMatrixVictim, core::kMatrixAttacker, aes,
-              shards[shard], /*trial_offset=*/shard * shard_size, pt_rng,
-              attack::EvictTimeConfig{});
-        }
-        return result;
-      });
+  const auto run_task = [&](std::size_t task) {
+    const bool prime_probe = task % 2 == 0;
+    const std::size_t cell_index = (task / 2) / n_shards;
+    const std::size_t shard = (task / 2) % n_shards;
+    const MatrixCell& cell = cells[cell_index];
+    const std::uint64_t cell_seed =
+        matrix_cell_seed(options.master_seed, cell_index);
+    // Worker-pooled machine, reset to the cell's fresh deployment -
+    // bit-exact with building it, minus the construction cost per task.
+    sim::Machine& machine =
+        MachinePool::local()
+            .policy_machine(cell.policy, cell_seed, cell.partitioned)
+            .machine;
+    crypto::SimAes aes(machine, layout, victim_key);
+    TaskResult result;
+    if (prime_probe) {
+      rng::XorShift64Star pt_rng(
+          rng::derive_seed(cell_seed, 0x9700 + shard));
+      result.pp = attack::run_aes_prime_probe(
+          machine, core::kMatrixVictim, core::kMatrixAttacker, aes,
+          shards[shard], pt_rng, attack::PrimeProbeConfig{});
+    } else {
+      rng::XorShift64Star pt_rng(
+          rng::derive_seed(cell_seed, 0xE7000 + shard));
+      result.et = attack::run_aes_evict_time(
+          machine, core::kMatrixVictim, core::kMatrixAttacker, aes,
+          shards[shard], /*trial_offset=*/shard * shard_size, pt_rng,
+          attack::EvictTimeConfig{});
+    }
+    return result;
+  };
+
+  std::vector<std::optional<TaskResult>> parts;
+  if (options.ft_session != nullptr && options.ft.enabled()) {
+    const TaskCodec<TaskResult> codec{
+        [](const TaskResult& t, ByteWriter& w) {
+          w.put_u8(t.pp ? 1 : 2);
+          if (t.pp) {
+            put_pp_outcome(w, *t.pp);
+          } else {
+            put_et_outcome(w, *t.et);
+          }
+        },
+        [](ByteReader& r) {
+          TaskResult t;
+          if (r.u8() == 1) {
+            t.pp = get_pp_outcome(r);
+          } else {
+            t.et = get_et_outcome(r);
+          }
+          return t;
+        }};
+    parts = ft_parallel_map<TaskResult>(*options.ft_session, "attack_matrix",
+                                        pool, 2 * per_attack, run_task, codec)
+                .results;
+  } else {
+    std::vector<TaskResult> plain =
+        parallel_map(pool, 2 * per_attack, run_task);
+    parts.reserve(plain.size());
+    for (TaskResult& part : plain) parts.emplace_back(std::move(part));
+  }
 
   // Merge in (cell, shard) order - exact integer sums, so the result is
-  // identical for every worker count - then score each cell once.
+  // identical for every worker count - then score each cell once.  Shards
+  // missing under --allow-partial contribute nothing; a cell with NO
+  // completed shard for an attack reports null for that attack.
   Json rows = Json::array();
   std::vector<double> pp_unpartitioned_rank;
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    attack::PrimeProbeOutcome pp = *parts[2 * c * n_shards].pp;
-    attack::EvictTimeOutcome et = *parts[2 * c * n_shards + 1].et;
-    for (std::size_t s = 1; s < n_shards; ++s) {
-      pp.merge(*parts[2 * (c * n_shards + s)].pp);
-      et.merge(*parts[2 * (c * n_shards + s) + 1].et);
+    std::optional<attack::PrimeProbeOutcome> pp;
+    std::optional<attack::EvictTimeOutcome> et;
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      const std::optional<TaskResult>& pp_part = parts[2 * (c * n_shards + s)];
+      const std::optional<TaskResult>& et_part =
+          parts[2 * (c * n_shards + s) + 1];
+      if (pp_part && pp_part->pp) {
+        if (pp) {
+          pp->merge(*pp_part->pp);
+        } else {
+          pp.emplace(*pp_part->pp);
+        }
+      }
+      if (et_part && et_part->et) {
+        if (et) {
+          et->merge(*et_part->et);
+        } else {
+          et.emplace(*et_part->et);
+        }
+      }
     }
 
-    const attack::MatrixRanking pp_rank = attack::score_prime_probe(
-        pp.profile, l1, layout.tables, victim_key);
-    const attack::MatrixRanking et_rank = attack::score_evict_time(
-        et.profile, l1, layout.tables, victim_key);
+    Json pp_json;  // null when the cell's attack never completed a shard
+    Json et_json;
+    double pp_mean_rank = 127.5;  // chance: an unmeasured cell leaks nothing
+    if (pp) {
+      const attack::MatrixRanking pp_rank = attack::score_prime_probe(
+          pp->profile, l1, layout.tables, victim_key);
+      pp_mean_rank = pp_rank.mean_true_rank();
+      pp_json = ranking_json(pp_rank, pp->channel);
+    }
+    if (et) {
+      const attack::MatrixRanking et_rank = attack::score_evict_time(
+          et->profile, l1, layout.tables, victim_key);
+      et_json = ranking_json(et_rank, et->channel);
+    }
     if (!cells[c].partitioned) {
-      pp_unpartitioned_rank.push_back(pp_rank.mean_true_rank());
+      pp_unpartitioned_rank.push_back(pp_mean_rank);
     }
 
     Json row = Json::object();
     row.set("policy", core::to_string(cells[c].policy))
         .set("partitioned", cells[c].partitioned)
-        .set("samples", pp.profile.samples())
-        .set("prime_probe", ranking_json(pp_rank, pp.channel))
-        .set("evict_time", ranking_json(et_rank, et.channel));
+        .set("samples", pp ? pp->profile.samples() : 0)
+        .set("prime_probe", std::move(pp_json))
+        .set("evict_time", std::move(et_json));
     rows.push(std::move(row));
   }
 
@@ -1020,41 +1080,72 @@ Json run_pwcet_matrix(const RunOptions& options) {
   // timing collection.  Every task is a pure function of (master seed,
   // cell, shard); merges below are in-order concatenations / exact integer
   // sums, so the JSON is worker-count invariant.
-  std::vector<PwcetTask> parts =
-      parallel_map(pool, total_tasks, [&](std::size_t task) {
-        PwcetTask out;
-        if (task < timing_tasks) {
-          out.times = pwcet_timing_task(platforms, programs,
-                                        options.master_seed, shard_size,
-                                        time_shards, task);
-        } else {
-          const std::size_t t = task - timing_tasks;
-          const std::size_t platform_index = t / pp_shards.size();
-          const std::size_t shard = t % pp_shards.size();
-          const MatrixCell& platform = platforms[platform_index];
-          // Leakage half: stable layouts per platform (the strongest
-          // attacker configuration, as in attack_matrix), shards differing
-          // only in their plaintext stream.
-          const std::uint64_t seed = rng::derive_seed(
-              options.master_seed, 0x9A57'0000 + platform_index);
-          sim::Machine& machine =
-              MachinePool::local()
-                  .policy_machine(platform.policy, seed, platform.partitioned)
-                  .machine;
-          crypto::SimAes aes(machine, layout, victim_key);
-          rng::XorShift64Star pt_rng(rng::derive_seed(seed, 0x9700 + shard));
-          out.pp = attack::run_aes_prime_probe(
-              machine, core::kMatrixVictim, core::kMatrixAttacker, aes,
-              pp_shards[shard], pt_rng, attack::PrimeProbeConfig{});
-        }
-        return out;
-      });
+  const auto run_task = [&](std::size_t task) {
+    PwcetTask out;
+    if (task < timing_tasks) {
+      out.times = pwcet_timing_task(platforms, programs,
+                                    options.master_seed, shard_size,
+                                    time_shards, task);
+    } else {
+      const std::size_t t = task - timing_tasks;
+      const std::size_t platform_index = t / pp_shards.size();
+      const std::size_t shard = t % pp_shards.size();
+      const MatrixCell& platform = platforms[platform_index];
+      // Leakage half: stable layouts per platform (the strongest
+      // attacker configuration, as in attack_matrix), shards differing
+      // only in their plaintext stream.
+      const std::uint64_t seed = rng::derive_seed(
+          options.master_seed, 0x9A57'0000 + platform_index);
+      sim::Machine& machine =
+          MachinePool::local()
+              .policy_machine(platform.policy, seed, platform.partitioned)
+              .machine;
+      crypto::SimAes aes(machine, layout, victim_key);
+      rng::XorShift64Star pt_rng(rng::derive_seed(seed, 0x9700 + shard));
+      out.pp = attack::run_aes_prime_probe(
+          machine, core::kMatrixVictim, core::kMatrixAttacker, aes,
+          pp_shards[shard], pt_rng, attack::PrimeProbeConfig{});
+    }
+    return out;
+  };
 
-  // Merge the timing shards in (cell, shard) order.
+  std::vector<std::optional<PwcetTask>> parts;
+  if (options.ft_session != nullptr && options.ft.enabled()) {
+    const TaskCodec<PwcetTask> codec{
+        [](const PwcetTask& t, ByteWriter& w) {
+          w.put_u8(t.pp ? 2 : 1);
+          if (t.pp) {
+            put_pp_outcome(w, *t.pp);
+          } else {
+            put_doubles(w, t.times);
+          }
+        },
+        [](ByteReader& r) {
+          PwcetTask t;
+          if (r.u8() == 2) {
+            t.pp = get_pp_outcome(r);
+          } else {
+            t.times = get_doubles(r);
+          }
+          return t;
+        }};
+    parts = ft_parallel_map<PwcetTask>(*options.ft_session, "pwcet_matrix",
+                                       pool, total_tasks, run_task, codec)
+                .results;
+  } else {
+    std::vector<PwcetTask> plain = parallel_map(pool, total_tasks, run_task);
+    parts.reserve(plain.size());
+    for (PwcetTask& part : plain) parts.emplace_back(std::move(part));
+  }
+
+  // Merge the timing shards in (cell, shard) order.  A shard missing under
+  // --allow-partial contributes nothing; its cell just has fewer runs (and
+  // flips to the "incomplete" verdict below the analysis minimum).
+  static const std::vector<double> kNoTimes;
   std::vector<std::vector<double>> flat_times = merge_cell_times(
       platforms.size() * n_kernels, time_shards.size(), runs,
       [&](std::size_t i) -> const std::vector<double>& {
-        return parts[i].times;
+        return parts[i] ? parts[i]->times : kNoTimes;
       });
   std::vector<std::vector<std::vector<double>>> cell_times(
       platforms.size(), std::vector<std::vector<double>>(n_kernels));
@@ -1069,7 +1160,11 @@ Json run_pwcet_matrix(const RunOptions& options) {
   // partitioning off).
   std::vector<double> baseline_mean(n_kernels, 0);
   for (std::size_t k = 0; k < n_kernels; ++k) {
-    baseline_mean[k] = stats::summarize(cell_times[0][k]).mean;
+    // An empty baseline cell (possible only under --allow-partial) leaves
+    // the overhead column zeroed rather than dividing by garbage.
+    baseline_mean[k] = cell_times[0][k].empty()
+                           ? 0.0
+                           : stats::summarize(cell_times[0][k]).mean;
   }
 
   // The paper applies alpha = 0.05 to four samples; this matrix tests ~40.
@@ -1081,7 +1176,10 @@ Json run_pwcet_matrix(const RunOptions& options) {
   std::size_t variable_cells = 0;
   for (std::size_t p = 0; p < platforms.size(); ++p) {
     for (std::size_t k = 0; k < n_kernels; ++k) {
-      if (stats::summarize(cell_times[p][k]).stddev > 0) ++variable_cells;
+      if (cell_times[p][k].size() >= 2 &&
+          stats::summarize(cell_times[p][k]).stddev > 0) {
+        ++variable_cells;
+      }
     }
   }
   const double gate_alpha =
@@ -1102,8 +1200,25 @@ Json run_pwcet_matrix(const RunOptions& options) {
   for (std::size_t p = 0; p < platforms.size(); ++p) {
     for (std::size_t k = 0; k < n_kernels; ++k) {
       const std::vector<double>& times = cell_times[p][k];
+
+      // A cell left below the analysis minimum by missing shards (reachable
+      // only under --allow-partial: complete runs collect >= 120 >= min_runs
+      // everywhere) gets no statistics, just an explicit verdict.
+      if (times.size() < cfg.min_runs) {
+        Json cell = Json::object();
+        cell.set("kernel", kernels[k].name)
+            .set("policy", core::to_string(platforms[p].policy))
+            .set("partitioned", platforms[p].partitioned)
+            .set("runs", static_cast<std::uint64_t>(times.size()))
+            .set("verdict", "incomplete");
+        agg[p].all_ok = false;
+        cells.push(std::move(cell));
+        continue;
+      }
+
       const stats::Summary summary = stats::summarize(times);
-      const double overhead = summary.mean / baseline_mean[k];
+      const double overhead =
+          baseline_mean[k] > 0 ? summary.mean / baseline_mean[k] : 0.0;
       agg[p].overhead_sum += overhead;
 
       Json cell = Json::object();
@@ -1179,26 +1294,44 @@ Json run_pwcet_matrix(const RunOptions& options) {
   bool randomized_ok = true;
   int randomized_applicable = 0;
   for (std::size_t p = 0; p < platforms.size(); ++p) {
-    attack::PrimeProbeOutcome pp =
-        *parts[timing_tasks + p * pp_shards.size()].pp;
-    for (std::size_t s = 1; s < pp_shards.size(); ++s) {
-      pp.merge(*parts[timing_tasks + p * pp_shards.size() + s].pp);
+    std::optional<attack::PrimeProbeOutcome> pp;
+    for (std::size_t s = 0; s < pp_shards.size(); ++s) {
+      const std::optional<PwcetTask>& part =
+          parts[timing_tasks + p * pp_shards.size() + s];
+      if (part && part->pp) {
+        if (pp) {
+          pp->merge(*part->pp);
+        } else {
+          pp.emplace(*part->pp);
+        }
+      }
     }
-    const attack::MatrixRanking rank = attack::score_prime_probe(
-        pp.profile, l1, layout.tables, victim_key);
 
     const bool is_random = core::randomized(platforms[p].policy);
     if (!is_random && agg[p].applicable > 0) modulo_never_applicable = false;
     if (is_random && !agg[p].all_ok) randomized_ok = false;
     randomized_applicable += is_random ? agg[p].applicable : 0;
 
+    // Leakage columns are null for a platform whose campaign never
+    // completed a shard (--allow-partial only).
+    Json rank_json;
+    Json resolved_json;
+    Json mi_json;
+    if (pp) {
+      const attack::MatrixRanking rank = attack::score_prime_probe(
+          pp->profile, l1, layout.tables, victim_key);
+      rank_json = rank.mean_true_rank();
+      resolved_json = rank.line_resolved_bytes();
+      mi_json = pp->channel.mi_bits_corrected();
+    }
+
     Json row = Json::object();
     row.set("policy", core::to_string(platforms[p].policy))
         .set("partitioned", platforms[p].partitioned)
         .set("randomized", is_random)
-        .set("prime_probe_mean_true_rank", rank.mean_true_rank())
-        .set("prime_probe_line_resolved_bytes", rank.line_resolved_bytes())
-        .set("channel_mi_bits_corrected", pp.channel.mi_bits_corrected())
+        .set("prime_probe_mean_true_rank", std::move(rank_json))
+        .set("prime_probe_line_resolved_bytes", std::move(resolved_json))
+        .set("channel_mi_bits_corrected", std::move(mi_json))
         .set("kernels_applicable", agg[p].applicable)
         .set("kernels_degenerate", agg[p].degenerate)
         .set("kernels_iid_fail", agg[p].iid_fail)

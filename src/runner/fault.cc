@@ -1,0 +1,144 @@
+#include "runner/fault.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace tsc::runner {
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void interrupt_signal_handler(int) {
+  // Only an atomic flag write is async-signal-safe; the shard runner polls
+  // the flag between completions and does the draining/flushing itself.
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+bool parse_size(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::optional<FaultSpec> parse_fault_spec(const std::string& spec,
+                                          std::string* error) {
+  FaultSpec out;
+  bool have_shard = false;
+  bool have_kind = false;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string field = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      if (error) *error = "field '" + field + "' is not key=value";
+      return std::nullopt;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    std::uint64_t n = 0;
+    if (key == "shard") {
+      if (!parse_size(value, n)) {
+        if (error) *error = "shard needs an unsigned integer";
+        return std::nullopt;
+      }
+      out.shard = static_cast<std::size_t>(n);
+      have_shard = true;
+    } else if (key == "kind") {
+      if (value == "throw") {
+        out.kind = FaultKind::kThrow;
+      } else if (value == "hang") {
+        out.kind = FaultKind::kHang;
+      } else if (value == "corrupt") {
+        out.kind = FaultKind::kCorrupt;
+      } else {
+        if (error) *error = "kind must be throw|hang|corrupt, got '" + value + "'";
+        return std::nullopt;
+      }
+      have_kind = true;
+    } else if (key == "times") {
+      if (!parse_size(value, n) || n == 0) {
+        if (error) *error = "times needs a positive integer";
+        return std::nullopt;
+      }
+      out.times = static_cast<int>(n);
+    } else {
+      if (error) *error = "unknown field '" + key + "'";
+      return std::nullopt;
+    }
+  }
+  if (!have_shard || !have_kind) {
+    if (error) *error = "spec needs shard=K,kind=throw|hang|corrupt";
+    return std::nullopt;
+  }
+  return out;
+}
+
+void FaultInjector::on_task_start(std::size_t task, int attempt) {
+  if (!targets(task, attempt)) return;
+  switch (spec_.kind) {
+    case FaultKind::kThrow:
+      throw InjectedFault("injected throw in shard " + std::to_string(task) +
+                          " attempt " + std::to_string(attempt));
+    case FaultKind::kHang: {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return hangs_cancelled_; });
+      throw InjectedFault("injected hang in shard " + std::to_string(task) +
+                          " cancelled by watchdog");
+    }
+    case FaultKind::kNone:
+    case FaultKind::kCorrupt:
+      break;  // corrupt applies to the payload, not the task body
+  }
+}
+
+bool FaultInjector::maybe_corrupt(std::size_t task, int attempt,
+                                  std::vector<std::uint8_t>& payload) const {
+  if (spec_.kind != FaultKind::kCorrupt || !targets(task, attempt)) {
+    return false;
+  }
+  if (payload.empty()) payload.push_back(0);
+  payload[payload.size() / 2] ^= 0xFF;  // guaranteed checksum mismatch
+  return true;
+}
+
+void FaultInjector::cancel_hangs() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hangs_cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, interrupt_signal_handler);
+  std::signal(SIGTERM, interrupt_signal_handler);
+}
+
+bool interrupt_requested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void request_interrupt() { g_interrupted.store(true, std::memory_order_relaxed); }
+
+void clear_interrupt() { g_interrupted.store(false, std::memory_order_relaxed); }
+
+}  // namespace tsc::runner

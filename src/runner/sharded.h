@@ -37,12 +37,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "attack/bernstein.h"
 #include "attack/profile.h"
 #include "core/campaign.h"
 #include "core/setup.h"
+#include "runner/checkpoint.h"
 #include "runner/thread_pool.h"
 #include "stats/descriptive.h"
 
@@ -88,8 +90,17 @@ struct ShardedCampaignResult {
 
 /// Run the sharded campaign: plan shards, execute them on `workers`
 /// threads, merge in shard order, correlate once on the merged profiles.
+///
+/// With a fault-tolerance session (`ft` non-null and enabled), the shard
+/// fan-out runs through FtSession::run_stage under `stage`: completed
+/// shards checkpoint and resume, faulted shards retry, and - because every
+/// payload codec is a bit-exact round-trip and merges stay in shard-index
+/// order - the merged result is byte-identical to the plain path.  Shards
+/// that exhaust their retries under allow-partial are simply absent from
+/// the merge (and listed in the session's incomplete manifest).
 [[nodiscard]] ShardedCampaignResult run_sharded_bernstein(
-    core::SetupKind kind, const ShardedConfig& config);
+    core::SetupKind kind, const ShardedConfig& config,
+    FtSession* ft = nullptr, const std::string& stage = "bernstein");
 
 /// Sharded single-side run (victim only): merged profile + timing stats for
 /// analyses that do not need the attacker (Fig. 4, MBPTA overhead sweeps).

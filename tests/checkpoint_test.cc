@@ -1,0 +1,542 @@
+// Tests for the fault-tolerance layer: exact byte codecs, checkpoint
+// save/load (including version and shard-plan rejection and corrupt-record
+// dropping), fault-spec parsing, the FtSession retry/watchdog/partial
+// orchestration, and the tentpole contract - interrupt-at-shard-k + resume
+// yields JSON byte-identical to an uninterrupted run, against the committed
+// golden fixtures, for several k and differing worker counts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/evicttime.h"
+#include "attack/primeprobe.h"
+#include "attack/profile.h"
+#include "runner/checkpoint.h"
+#include "runner/codecs.h"
+#include "runner/experiment.h"
+#include "runner/fault.h"
+#include "runner/thread_pool.h"
+
+namespace tsc::runner {
+namespace {
+
+#ifndef TSC_SOURCE_DIR
+#error "TSC_SOURCE_DIR must point at the repository root"
+#endif
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "tsc_ckpt_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --- byte codecs -------------------------------------------------------------
+
+TEST(ByteCodecTest, VarintRoundTripsEdgeValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16'383,
+                                  16'384,
+                                  0xFFFF'FFFFULL,
+                                  0xFFFF'FFFF'FFFF'FFFFULL};
+  ByteWriter writer;
+  for (const std::uint64_t v : values) writer.put_varint(v);
+  ByteReader reader(writer.bytes());
+  for (const std::uint64_t v : values) EXPECT_EQ(reader.varint(), v);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteCodecTest, DoublesRoundTripBitExactly) {
+  const double values[] = {0.0, -0.0, 1.0 / 3.0, 1e-300, 5e-324, 1e308};
+  ByteWriter writer;
+  for (const double v : values) writer.put_f64(v);
+  ByteReader reader(writer.bytes());
+  for (const double v : values) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(reader.f64()),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(ByteCodecTest, ReaderThrowsOnTruncation) {
+  ByteWriter writer;
+  writer.put_string("hello");
+  std::vector<std::uint8_t> bytes = std::move(writer).take();
+  bytes.pop_back();
+  ByteReader reader(bytes);
+  EXPECT_THROW((void)reader.string(), CheckpointError);
+}
+
+TEST(ByteCodecTest, TimingProfileRoundTripIsExact) {
+  attack::TimingProfile profile;
+  crypto::Block pt{};
+  for (int i = 0; i < 200; ++i) {
+    for (std::size_t b = 0; b < pt.size(); ++b) {
+      pt[b] = static_cast<std::uint8_t>(i * 7 + b * 13);
+    }
+    profile.add(pt, static_cast<double>(900 + i % 37));
+  }
+  ByteWriter writer;
+  ProfileCodec::put(writer, profile);
+  ByteReader reader(writer.bytes());
+  const attack::TimingProfile copy = ProfileCodec::get_timing(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(copy.samples(), profile.samples());
+  EXPECT_EQ(copy.global_mean(), profile.global_mean());
+  for (int pos = 0; pos < 16; ++pos) {
+    for (int v = 0; v < 256; ++v) {
+      EXPECT_EQ(copy.cell_count(pos, v), profile.cell_count(pos, v));
+      EXPECT_EQ(copy.cell_mean(pos, v), profile.cell_mean(pos, v));
+    }
+  }
+}
+
+TEST(ByteCodecTest, PrimeProbeOutcomeRoundTripIsExact) {
+  attack::PrimeProbeOutcome outcome(/*sets=*/8, /*line_classes=*/4);
+  crypto::Block pt{};
+  std::vector<std::uint32_t> misses(8);
+  for (int i = 0; i < 64; ++i) {
+    pt[0] = static_cast<std::uint8_t>(i);
+    for (std::size_t s = 0; s < misses.size(); ++s) {
+      misses[s] = static_cast<std::uint32_t>((i + s) % 3);
+    }
+    outcome.profile.add(pt, misses);
+    outcome.channel.add(i % 4, i % 5);
+  }
+  ByteWriter writer;
+  put_pp_outcome(writer, outcome);
+  ByteReader reader(writer.bytes());
+  const attack::PrimeProbeOutcome copy = get_pp_outcome(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(copy.profile.samples(), outcome.profile.samples());
+  EXPECT_EQ(copy.profile.sets(), outcome.profile.sets());
+  for (int v = 0; v < 256; ++v) {
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      EXPECT_EQ(copy.profile.cell_mean(0, v, s),
+                outcome.profile.cell_mean(0, v, s));
+    }
+  }
+  ASSERT_EQ(copy.channel.x_classes(), outcome.channel.x_classes());
+  ASSERT_EQ(copy.channel.y_bins(), outcome.channel.y_bins());
+  for (std::size_t x = 0; x < 4; ++x) {
+    for (std::size_t y = 0; y < 5; ++y) {
+      EXPECT_EQ(copy.channel.cell(x, y), outcome.channel.cell(x, y));
+    }
+  }
+}
+
+TEST(ByteCodecTest, EvictTimeOutcomeRoundTripIsExact) {
+  attack::EvictTimeOutcome outcome(/*sets=*/4, /*line_classes=*/4);
+  crypto::Block pt{};
+  for (int i = 0; i < 64; ++i) {
+    pt[1] = static_cast<std::uint8_t>(i * 3);
+    outcome.profile.add(pt, static_cast<std::uint32_t>(i % 4),
+                        static_cast<Cycles>(1000 + i));
+    outcome.channel.add(i % 4, i % 2);
+  }
+  ByteWriter writer;
+  put_et_outcome(writer, outcome);
+  ByteReader reader(writer.bytes());
+  const attack::EvictTimeOutcome copy = get_et_outcome(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(copy.profile.samples(), outcome.profile.samples());
+  for (int v = 0; v < 256; ++v) {
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(copy.profile.cell_mean(1, v, s),
+                outcome.profile.cell_mean(1, v, s));
+      EXPECT_EQ(copy.profile.cell_count(1, v, s),
+                outcome.profile.cell_count(1, v, s));
+    }
+  }
+}
+
+// --- fault-spec parsing ------------------------------------------------------
+
+TEST(FaultSpecTest, ParsesFullSpec) {
+  std::string error;
+  const auto spec = parse_fault_spec("shard=5,kind=hang,times=2", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->shard, 5u);
+  EXPECT_EQ(spec->kind, FaultKind::kHang);
+  EXPECT_EQ(spec->times, 2);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(parse_fault_spec("", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("shard=1", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("kind=throw", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("shard=1,kind=explode", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("shard=x,kind=throw", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("shard=1,kind=throw,times=0", &error)
+                   .has_value());
+  EXPECT_FALSE(parse_fault_spec("bogus", &error).has_value());
+}
+
+// --- checkpoint file ---------------------------------------------------------
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  const std::string path = temp_path("roundtrip.bin");
+  Checkpoint ckpt("fig5", "fp-1");
+  ckpt.put("stage-a", 4, 0, {1, 2, 3});
+  ckpt.put("stage-a", 4, 2, {4, 5});
+  ckpt.put("stage-b", 2, 1, {});
+  ckpt.save(path);
+
+  const Checkpoint loaded = Checkpoint::load(path);
+  EXPECT_EQ(loaded.experiment(), "fig5");
+  EXPECT_EQ(loaded.fingerprint(), "fp-1");
+  EXPECT_EQ(loaded.record_count(), 3u);
+  ASSERT_NE(loaded.find("stage-a", 4, 0), nullptr);
+  EXPECT_EQ(*loaded.find("stage-a", 4, 0), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(loaded.find("stage-a", 4, 1), nullptr);
+  ASSERT_NE(loaded.find("stage-b", 2, 1), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsShardPlanMismatch) {
+  Checkpoint ckpt("fig5", "fp");
+  ckpt.put("stage", 4, 0, {1});
+  // Same stage, different task count: the shard plan changed and the
+  // records cannot mean what they say.
+  EXPECT_THROW((void)ckpt.find("stage", 8, 0), CheckpointError);
+  EXPECT_THROW(ckpt.put("stage", 8, 1, {2}), CheckpointError);
+}
+
+TEST(CheckpointTest, RejectsVersionMismatch) {
+  const std::string path = temp_path("version.bin");
+  Checkpoint ckpt("fig5", "fp");
+  ckpt.put("stage", 1, 0, {9});
+  ckpt.save(path);
+
+  // The format version is a fixed little-endian u32 right after the 6-byte
+  // magic; bump it and the load must refuse outright.
+  std::string raw = read_file(path);
+  ASSERT_GT(raw.size(), 10u);
+  raw[6] = static_cast<char>(raw[6] + 1);
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << raw;
+  try {
+    (void)Checkpoint::load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsNonCheckpointFile) {
+  const std::string path = temp_path("garbage.bin");
+  std::ofstream(path, std::ios::binary) << "not a checkpoint at all";
+  EXPECT_THROW((void)Checkpoint::load(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, DropsChecksumCorruptRecordsKeepsRest) {
+  const std::string path = temp_path("corrupt.bin");
+  Checkpoint ckpt("fig5", "fp");
+  ckpt.put("stage", 2, 0, {10, 20, 30, 40});
+  ckpt.put("stage", 2, 1, {50, 60, 70, 80});
+  ckpt.save(path);
+
+  // Flip one payload byte on disk: that record's checksum no longer
+  // matches, so load drops it (the shard re-runs) but keeps the other.
+  std::string raw = read_file(path);
+  const std::size_t at = raw.find(std::string("\x0a\x14\x1e\x28", 4));
+  ASSERT_NE(at, std::string::npos);
+  raw[at + 1] = static_cast<char>(0x7F);
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << raw;
+
+  const Checkpoint loaded = Checkpoint::load(path);
+  EXPECT_EQ(loaded.record_count(), 1u);
+  EXPECT_EQ(loaded.find("stage", 2, 0), nullptr);
+  EXPECT_NE(loaded.find("stage", 2, 1), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, AtomicWriteReplacesExistingFile) {
+  const std::string path = temp_path("atomic.txt");
+  atomic_write_file(path, "first");
+  EXPECT_EQ(read_file(path), "first");
+  atomic_write_file(path, "second");
+  EXPECT_EQ(read_file(path), "second");
+  std::remove(path.c_str());
+}
+
+// --- FtSession orchestration (toy stage functions) ---------------------------
+
+const TaskCodec<std::uint64_t>& u64_codec() {
+  static const TaskCodec<std::uint64_t> codec{
+      [](const std::uint64_t& v, ByteWriter& w) { w.put_varint(v); },
+      [](ByteReader& r) { return r.varint(); }};
+  return codec;
+}
+
+std::uint64_t toy_task(std::size_t i) {
+  return static_cast<std::uint64_t>(i * i + 1);
+}
+
+TEST(FtSessionTest, InjectedThrowIsRetriedAndRecovered) {
+  clear_interrupt();
+  FtOptions options;
+  options.fault = {2, FaultKind::kThrow, 1};
+  FtSession session(options, "toy", "fp");
+  ThreadPool pool(2);
+  const auto out = ft_parallel_map<std::uint64_t>(session, "s", pool, 8,
+                                                  toy_task, u64_codec());
+  EXPECT_TRUE(out.incomplete.empty());
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(out.results[i].has_value());
+    EXPECT_EQ(*out.results[i], toy_task(i));
+  }
+  EXPECT_EQ(session.failed_attempts(), 1u);
+}
+
+TEST(FtSessionTest, InjectedCorruptionIsCaughtByChecksumAndRetried) {
+  clear_interrupt();
+  FtOptions options;
+  options.fault = {4, FaultKind::kCorrupt, 1};
+  FtSession session(options, "toy", "fp");
+  ThreadPool pool(2);
+  const auto out = ft_parallel_map<std::uint64_t>(session, "s", pool, 8,
+                                                  toy_task, u64_codec());
+  EXPECT_TRUE(out.incomplete.empty());
+  ASSERT_TRUE(out.results[4].has_value());
+  EXPECT_EQ(*out.results[4], toy_task(4));
+  EXPECT_EQ(session.failed_attempts(), 1u);
+}
+
+TEST(FtSessionTest, InjectedHangIsAbandonedByWatchdogAndRequeued) {
+  clear_interrupt();
+  FtOptions options;
+  options.fault = {1, FaultKind::kHang, 1};
+  options.watchdog_ms = 100;
+  FtSession session(options, "toy", "fp");
+  ThreadPool pool(2);
+  const auto out = ft_parallel_map<std::uint64_t>(session, "s", pool, 6,
+                                                  toy_task, u64_codec());
+  EXPECT_TRUE(out.incomplete.empty());
+  for (std::size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(out.results[i].has_value());
+    EXPECT_EQ(*out.results[i], toy_task(i));
+  }
+  EXPECT_GE(session.failed_attempts(), 1u);
+}
+
+TEST(FtSessionTest, ExhaustedRetriesAbortWithoutAllowPartial) {
+  clear_interrupt();
+  FtOptions options;
+  options.fault = {3, FaultKind::kThrow, 10};  // outlives the budget
+  options.max_attempts = 2;
+  FtSession session(options, "toy", "fp");
+  ThreadPool pool(2);
+  EXPECT_THROW((void)ft_parallel_map<std::uint64_t>(session, "s", pool, 8,
+                                                    toy_task, u64_codec()),
+               CampaignAborted);
+}
+
+TEST(FtSessionTest, AllowPartialRecordsExhaustedShardInManifest) {
+  clear_interrupt();
+  FtOptions options;
+  options.fault = {3, FaultKind::kThrow, 10};
+  options.max_attempts = 2;
+  options.allow_partial = true;
+  FtSession session(options, "toy", "fp");
+  ThreadPool pool(2);
+  const auto out = ft_parallel_map<std::uint64_t>(session, "s", pool, 8,
+                                                  toy_task, u64_codec());
+  ASSERT_EQ(out.incomplete.size(), 1u);
+  EXPECT_EQ(out.incomplete[0], 3u);
+  EXPECT_FALSE(out.results[3].has_value());
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i != 3) {
+      EXPECT_TRUE(out.results[i].has_value());
+    }
+  }
+  ASSERT_EQ(session.incomplete().size(), 1u);
+  EXPECT_EQ(session.incomplete()[0].stage, "s");
+  EXPECT_EQ(session.incomplete()[0].task, 3u);
+}
+
+TEST(FtSessionTest, StopAfterInterruptsWithCheckpointThenResumes) {
+  clear_interrupt();
+  const std::string path = temp_path("stop_resume.bin");
+  std::remove(path.c_str());
+
+  FtOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 1;
+  options.stop_after = 3;
+  {
+    FtSession session(options, "toy", "fp");
+    ThreadPool pool(2);
+    EXPECT_THROW((void)ft_parallel_map<std::uint64_t>(session, "s", pool, 10,
+                                                      toy_task, u64_codec()),
+                 Interrupted);
+  }
+  const Checkpoint flushed = Checkpoint::load(path);
+  EXPECT_GE(flushed.record_count(), 3u);
+  EXPECT_LT(flushed.record_count(), 10u);
+
+  clear_interrupt();
+  FtOptions resume = options;
+  resume.stop_after = 0;
+  resume.resume = true;
+  FtSession session(resume, "toy", "fp");
+  ThreadPool pool(4);  // a different worker count must not matter
+  const auto out = ft_parallel_map<std::uint64_t>(session, "s", pool, 10,
+                                                  toy_task, u64_codec());
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(out.results[i].has_value());
+    EXPECT_EQ(*out.results[i], toy_task(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FtSessionTest, ResumeRejectsFingerprintAndExperimentMismatch) {
+  clear_interrupt();
+  const std::string path = temp_path("mismatch.bin");
+  Checkpoint ckpt("toy", "fp-original");
+  ckpt.put("s", 4, 0, {1});
+  ckpt.save(path);
+
+  FtOptions options;
+  options.checkpoint_path = path;
+  options.resume = true;
+  EXPECT_THROW(FtSession(options, "toy", "fp-DIFFERENT"), CheckpointError);
+  EXPECT_THROW(FtSession(options, "other-experiment", "fp-original"),
+               CheckpointError);
+  // The matching pair loads fine.
+  FtSession ok(options, "toy", "fp-original");
+  EXPECT_EQ(ok.completed_tasks(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FtSessionTest, ResumeWithMissingFileStartsFresh) {
+  clear_interrupt();
+  FtOptions options;
+  options.checkpoint_path = temp_path("never_written.bin");
+  options.resume = true;
+  FtSession session(options, "toy", "fp");
+  ThreadPool pool(2);
+  const auto out = ft_parallel_map<std::uint64_t>(session, "s", pool, 4,
+                                                  toy_task, u64_codec());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(out.results[i].has_value());
+  std::remove(options.checkpoint_path.c_str());
+}
+
+// --- resume bit-identity against the golden fixtures -------------------------
+
+std::string read_fixture(const std::string& relative) {
+  const std::string path = std::string(TSC_SOURCE_DIR) + "/" + relative;
+  std::string text = read_file(path);
+  EXPECT_FALSE(text.empty()) << "missing fixture " << path;
+  return text;
+}
+
+/// Render an experiment through a fault-tolerance session, exactly as
+/// `tsc_run --json` does.  Throws Interrupted/CampaignAborted like the CLI
+/// path would.
+std::string run_ft_json(const std::string& name, std::size_t samples,
+                        std::size_t shard_size, unsigned workers,
+                        const FtOptions& ft) {
+  const Experiment* experiment = find_experiment(name);
+  EXPECT_NE(experiment, nullptr);
+  RunOptions options;
+  options.samples = samples;
+  options.shard_size = shard_size;
+  options.workers = workers;
+  options.ft = ft;
+  FtSession session(ft, experiment->name, "test-fingerprint");
+  options.ft_session = &session;
+  Json doc = Json::object();
+  doc.set("experiment", experiment->name)
+      .set("description", experiment->description)
+      .set("seed", options.master_seed)
+      .set("results", experiment->run(options));
+  return doc.dump(-1) + "\n";
+}
+
+/// The tentpole contract, end to end: run with a checkpoint and an
+/// interrupt after `stop_after` completed shards, then resume (with a
+/// DIFFERENT worker count) and demand byte-identity with `expected`.
+void check_interrupt_resume(const std::string& name, std::size_t samples,
+                            std::size_t shard_size,
+                            std::size_t stop_after,
+                            const std::string& expected) {
+  const std::string path =
+      temp_path(name + "_k" + std::to_string(stop_after) + ".bin");
+  std::remove(path.c_str());
+
+  clear_interrupt();
+  FtOptions interrupted;
+  interrupted.checkpoint_path = path;
+  interrupted.checkpoint_every = 1;
+  interrupted.stop_after = stop_after;
+  EXPECT_THROW(
+      (void)run_ft_json(name, samples, shard_size, /*workers=*/2, interrupted),
+      Interrupted)
+      << name << " k=" << stop_after;
+
+  clear_interrupt();
+  FtOptions resume;
+  resume.checkpoint_path = path;
+  resume.resume = true;
+  const std::string out =
+      run_ft_json(name, samples, shard_size, /*workers=*/5, resume);
+  EXPECT_EQ(out, expected)
+      << name << ": resume after " << stop_after
+      << " shards diverged from the uninterrupted run";
+  std::remove(path.c_str());
+}
+
+TEST(ResumeBitIdentityTest, Fig5MatchesGoldenFixtureAfterInterrupts) {
+  const std::string expected =
+      read_fixture("tests/golden/fig5_s3000_ss1000.json");
+  // Several interruption points: mid-first-stage and into later stages
+  // (fig5 runs 4 stages of 6 shard-tasks each at this scale).
+  for (const std::size_t k : {2u, 7u}) {
+    check_interrupt_resume("fig5", 3000, 1000, k, expected);
+  }
+}
+
+TEST(ResumeBitIdentityTest, AttackMatrixMatchesGoldenFixtureAfterInterrupt) {
+  const std::string expected =
+      read_fixture("tests/golden/attack_matrix_s1200_ss400.json");
+  check_interrupt_resume("attack_matrix", 1200, 400, 3, expected);
+}
+
+TEST(ResumeBitIdentityTest, PwcetMatrixMatchesGoldenFixtureAfterInterrupt) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "pwcet_matrix golden runs in NDEBUG (Release) builds only";
+#endif
+  const std::string expected =
+      read_fixture("tests/golden/pwcet_matrix_s240_ss80.json");
+  check_interrupt_resume("pwcet_matrix", 240, 80, 11, expected);
+}
+
+// Self-referential sweep at smoke scale: for a spread of interruption
+// points the resumed run must match the uninterrupted run bit for bit (the
+// fixture-based tests above pin absolute values; this one covers many k
+// cheaply).
+TEST(ResumeBitIdentityTest, AttackMatrixSelfConsistentAcrossManyCutPoints) {
+  clear_interrupt();
+  const std::string reference =
+      run_ft_json("attack_matrix", 400, 200, /*workers=*/4, FtOptions{});
+  for (const std::size_t k : {1u, 5u, 13u, 20u}) {
+    check_interrupt_resume("attack_matrix", 400, 200, k, reference);
+  }
+}
+
+}  // namespace
+}  // namespace tsc::runner

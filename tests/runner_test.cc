@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -68,6 +69,54 @@ TEST(ThreadPoolTest, ParallelMapRethrowsLowestIndexException) {
 TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
+}
+
+// Shutdown semantics under throwing tasks - the fault-tolerant campaign
+// runner leans on all three properties: queued tasks still drain, no future
+// is left unready (abandoned), and destruction cannot deadlock.
+TEST(ThreadPoolTest, DestructorDrainsQueueEvenWhenTasksThrow) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&ran, i] {
+        if (i % 8 == 3) throw std::runtime_error("injected");
+        ++ran;
+      }));
+    }
+    // The destructor runs with most tasks still queued; it must execute
+    // them all (returning from this scope at all also proves no deadlock).
+  }
+  int threw = 0;
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "destructor abandoned a queued task's future";
+    try {
+      future.get();
+    } catch (const std::runtime_error&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw, 8);
+  EXPECT_EQ(ran.load(), 56);
+}
+
+TEST(ThreadPoolTest, DestructionSurvivesEveryTaskThrowing) {
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(
+          pool.submit([]() -> void { throw std::logic_error("all fail"); }));
+    }
+  }
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_THROW(future.get(), std::logic_error);
+  }
 }
 
 TEST(ShardPlanTest, SplitsSampleBudgetExactly) {
