@@ -1,0 +1,171 @@
+#include "attack/flushreload.h"
+
+#include <cassert>
+
+namespace tsc::attack {
+
+FlushProfile::FlushProfile(std::uint32_t lines)
+    : lines_(lines),
+      sums_(static_cast<std::size_t>(kPositions) * kValues * lines, 0) {}
+
+void FlushProfile::add(const crypto::Block& plaintext,
+                       std::span<const std::uint8_t> touched) {
+  assert(touched.size() >= lines_);
+  for (int pos = 0; pos < kPositions; ++pos) {
+    const auto v = static_cast<std::size_t>(
+        plaintext[static_cast<std::size_t>(pos)]);
+    std::uint64_t* row = sums_.data() + idx(pos, static_cast<int>(v), 0);
+    for (std::uint32_t m = 0; m < lines_; ++m) row[m] += touched[m];
+    ++counts_[static_cast<std::size_t>(pos)][v];
+  }
+  ++total_trials_;
+}
+
+void FlushProfile::merge(const FlushProfile& other) {
+  assert(other.lines_ == lines_);
+  for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += other.sums_[i];
+  for (int pos = 0; pos < kPositions; ++pos) {
+    for (int v = 0; v < kValues; ++v) {
+      counts_[static_cast<std::size_t>(pos)][static_cast<std::size_t>(v)] +=
+          other.counts_[static_cast<std::size_t>(pos)]
+                       [static_cast<std::size_t>(v)];
+    }
+  }
+  total_trials_ += other.total_trials_;
+}
+
+double FlushProfile::cell_mean(int pos, int value, std::uint32_t line) const {
+  const std::uint64_t n = cell_count(pos, value);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sums_[idx(pos, value, line)]) /
+         static_cast<double>(n);
+}
+
+double FlushProfile::line_mean(int pos, std::uint32_t line) const {
+  if (total_trials_ == 0) return 0.0;
+  std::uint64_t sum = 0;
+  for (int v = 0; v < kValues; ++v) sum += sums_[idx(pos, v, line)];
+  return static_cast<double>(sum) / static_cast<double>(total_trials_);
+}
+
+FlushOutcome::FlushOutcome(std::uint32_t lines, std::size_t line_classes)
+    : profile(lines), channel(line_classes, line_classes + 1) {}
+
+void FlushOutcome::merge(const FlushOutcome& other) {
+  profile.merge(other.profile);
+  channel.merge(other.channel);
+}
+
+namespace {
+
+/// The shared flush-channel campaign.  `time_flush` selects the probe
+/// primitive: false = Flush+Reload (time a load, fast = touched), true =
+/// Flush+Flush (time the flush, slow = touched).
+FlushOutcome run_aes_flush_channel(sim::Machine& machine, ProcId victim,
+                                   crypto::SimAes& aes, std::size_t samples,
+                                   rng::Rng& pt_rng, const FlushConfig& config,
+                                   bool time_flush) {
+  const cache::Geometry& geo = machine.hierarchy().l1d().geometry();
+  const std::uint32_t line_bytes = geo.line_bytes();
+  const std::uint32_t entries_per_line = line_bytes / 4;
+  const std::uint32_t lines_per_table =
+      crypto::SimAesLayout::kTableBytes / line_bytes;
+  const std::uint32_t monitored = 4 * lines_per_table;
+  const std::size_t line_classes = lines_per_table;
+  FlushOutcome out(monitored, line_classes);
+
+  // Monitored line m covers table (m / lines_per_table), line offset
+  // (m % lines_per_table) - the victim's own table addresses (shared
+  // memory; the whole point of the flush channel).
+  std::vector<Addr> addr(monitored);
+  for (std::uint32_t m = 0; m < monitored; ++m) {
+    addr[m] = aes.layout().tables +
+              static_cast<Addr>(m / lines_per_table) *
+                  crypto::SimAesLayout::kTableBytes +
+              static_cast<Addr>(m % lines_per_table) * line_bytes;
+  }
+
+  // Everything - flushes, reloads, the victim's encryptions - runs under
+  // the victim's process context: placement randomization is in frame.
+  machine.set_process(victim);
+  machine.instr(config.attacker_code);
+
+  // Calibrate the two baselines against lines whose state the attacker
+  // controls: a flush of a just-flushed line is the absent-flush cost, a
+  // reload of a just-loaded line is the hit cost.  Timing defenses that
+  // quantize these into the touched-line costs erase the thresholds - and
+  // with them the channel.
+  machine.flush_line(config.attacker_code, addr[0]);
+  Cycles t0 = machine.now();
+  machine.flush_line(config.attacker_code, addr[0]);
+  const Cycles absent_flush = machine.now() - t0;
+  machine.load(config.attacker_code, addr[0]);
+  machine.load(config.attacker_code, addr[0]);
+  t0 = machine.now();
+  machine.load(config.attacker_code, addr[0]);
+  const Cycles hit_load = machine.now() - t0;
+  machine.flush_line(config.attacker_code, addr[0]);
+
+  // Ground-truth diagnostic (mirrors Prime+Probe's): byte 2's round-1
+  // lookup touches table 2 at line (pt[2] ^ key[2]) / entries_per_line.
+  const std::uint8_t key2 = aes.key()[2];
+  const std::uint32_t table2_base = 2 * lines_per_table;
+
+  std::vector<std::uint8_t> touched(monitored);
+  for (std::size_t trial = 0; trial < samples; ++trial) {
+    // Flush phase: evict every monitored line (state reset - both probe
+    // variants leave the lines absent, so trials start identical).
+    for (std::uint32_t m = 0; m < monitored; ++m) {
+      machine.flush_line(config.attacker_code, addr[m]);
+    }
+
+    const crypto::Block pt = crypto::random_block(pt_rng);
+    (void)aes.encrypt(pt);
+
+    // Probe phase.  Re-warm the probe-loop code line first so a stale
+    // fetch is never charged to the first timed operation.
+    machine.instr(config.attacker_code);
+    for (std::uint32_t m = 0; m < monitored; ++m) {
+      t0 = machine.now();
+      if (time_flush) {
+        machine.flush_line(config.attacker_code, addr[m]);
+        touched[m] = machine.now() - t0 > absent_flush ? 1 : 0;
+      } else {
+        machine.load(config.attacker_code, addr[m]);
+        touched[m] = machine.now() - t0 <= hit_load ? 1 : 0;
+      }
+    }
+    out.profile.add(pt, touched);
+
+    const std::uint32_t line_class =
+        static_cast<std::uint32_t>(pt[2] ^ key2) / entries_per_line;
+    std::size_t witness = line_classes;  // "no table-2 line seen touched"
+    for (std::uint32_t c = 0; c < lines_per_table; ++c) {
+      if (touched[table2_base + c] != 0) {
+        witness = c;
+        break;
+      }
+    }
+    out.channel.add(line_class, witness);
+  }
+  return out;
+}
+
+}  // namespace
+
+FlushOutcome run_aes_flush_reload(sim::Machine& machine, ProcId victim,
+                                  crypto::SimAes& aes, std::size_t samples,
+                                  rng::Rng& pt_rng,
+                                  const FlushConfig& config) {
+  return run_aes_flush_channel(machine, victim, aes, samples, pt_rng, config,
+                               /*time_flush=*/false);
+}
+
+FlushOutcome run_aes_flush_flush(sim::Machine& machine, ProcId victim,
+                                 crypto::SimAes& aes, std::size_t samples,
+                                 rng::Rng& pt_rng, const FlushConfig& config) {
+  return run_aes_flush_channel(machine, victim, aes, samples, pt_rng, config,
+                               /*time_flush=*/true);
+}
+
+}  // namespace tsc::attack

@@ -112,6 +112,44 @@ MatrixRanking score_prime_probe(const PrimeProbeProfile& profile,
       });
 }
 
+MatrixRanking score_flush(const FlushProfile& profile,
+                          const cache::Geometry& l1,
+                          const crypto::Key& victim_key) {
+  MatrixRanking out;
+  out.victim_key = victim_key;
+
+  const std::uint32_t entries_per_line = l1.line_bytes() / 4;
+  const std::uint32_t lines_per_table =
+      crypto::SimAesLayout::kTableBytes / l1.line_bytes();
+
+  for (int pos = 0; pos < 16; ++pos) {
+    const std::uint32_t table_base =
+        (static_cast<std::uint32_t>(pos) % 4) * lines_per_table;
+
+    std::array<double, 256> score{};
+    for (int g = 0; g < 256; ++g) {
+      double excess = 0;
+      std::uint64_t total = 0;
+      for (int v = 0; v < 256; ++v) {
+        // The predicted monitored line is addressed directly - the flush
+        // channel has no placement frame to get wrong.
+        const std::uint32_t m =
+            table_base + static_cast<std::uint32_t>(v ^ g) / entries_per_line;
+        const std::uint64_t n = profile.cell_count(pos, v);
+        if (n == 0) continue;
+        excess += static_cast<double>(n) *
+                  (profile.cell_mean(pos, v, m) - profile.line_mean(pos, m));
+        total += n;
+      }
+      score[static_cast<std::size_t>(g)] =
+          total == 0 ? 0.0 : excess / static_cast<double>(total);
+    }
+    out.bytes[static_cast<std::size_t>(pos)] =
+        rank_scores(score, victim_key[static_cast<std::size_t>(pos)]);
+  }
+  return out;
+}
+
 MatrixRanking score_evict_time(const EvictTimeProfile& profile,
                                const cache::Geometry& l1, Addr tables_base,
                                const crypto::Key& victim_key) {

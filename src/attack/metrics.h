@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "attack/evicttime.h"
+#include "attack/flushreload.h"
 #include "attack/primeprobe.h"
 #include "cache/geometry.h"
 #include "common/types.h"
@@ -82,5 +83,16 @@ struct MatrixRanking {
                                              const cache::Geometry& l1,
                                              Addr tables_base,
                                              const crypto::Key& victim_key);
+
+/// Score a flush-channel profile (Flush+Reload or Flush+Flush - both
+/// accumulate the same touched-line observable).  The contrast is the same
+/// statistic as the eviction attacks but over monitored LINES, not modulo
+/// sets: for position p and guess g the predicted observable of value v is
+/// monitored line (p mod 4) * lines_per_table + (v ^ g) / entries_per_line
+/// - no placement model at all, which is exactly why randomized placement
+/// does not degrade this channel.  `l1` supplies only the line size.
+[[nodiscard]] MatrixRanking score_flush(const FlushProfile& profile,
+                                        const cache::Geometry& l1,
+                                        const crypto::Key& victim_key);
 
 }  // namespace tsc::attack

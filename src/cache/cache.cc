@@ -620,6 +620,36 @@ std::uint64_t Cache::flush() {
   return count;
 }
 
+Cache::FlushLineResult Cache::flush_line(ProcId proc, Addr addr) {
+  const Addr line = addr >> line_shift_;
+  const std::uint32_t set = map_set(context(proc), line);
+  // A flush probes the set like any other lookup: the TTL clock ticks and
+  // expired lines are reclaimed BEFORE the scan, so a dead line reports
+  // absent (and its writeback is charged to the expiry, not the flush).
+  if (ttl_enabled_) [[unlikely]] ttl_advance_and_expire(set);
+  ++stats_.line_flushes;
+  FlushLineResult result;
+  result.set = set;
+  const std::uint32_t ways = config_.geometry.ways();
+  const std::size_t base = static_cast<std::size_t>(set) * ways;
+  const std::uint64_t probe = (line << 1) | 1;
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    const std::size_t i = base + w;
+    if (tagv_[i] != probe) continue;
+    result.present = true;
+    ++stats_.line_flush_hits;
+    ++stats_.flushed_lines;
+    if (dirty_[i] != 0) {
+      ++stats_.writebacks;
+      result.writeback = true;
+    }
+    tagv_[i] = 0;
+    dirty_[i] = 0;
+    break;  // a line address is resident at most once per set
+  }
+  return result;
+}
+
 bool Cache::try_repeat_hit(ProcId proc, Addr addr, std::uint64_t count) {
   // A TTL cache cannot batch: each of the `count` accesses must tick the
   // expiry clock (and could itself expire lines).  Decline; the caller's

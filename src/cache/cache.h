@@ -69,6 +69,8 @@ struct CacheStats {
   std::uint64_t ttl_expirations = 0;       ///< ClepsydraCache TTL evictions
   std::uint64_t flushes = 0;
   std::uint64_t flushed_lines = 0;
+  std::uint64_t line_flushes = 0;      ///< flush_line probes issued
+  std::uint64_t line_flush_hits = 0;   ///< probes that found the line resident
 
   [[nodiscard]] double miss_rate() const {
     return accesses == 0 ? 0.0
@@ -132,6 +134,28 @@ class Cache {
   /// done once per hyperperiod together with the reseed).  Returns the
   /// number of lines that were valid.
   std::uint64_t flush();
+
+  /// Outcome of a per-line flush probe (flush_line).
+  struct FlushLineResult {
+    bool present = false;    ///< the line was resident and is now invalid
+    bool writeback = false;  ///< it was dirty and was written back first
+    std::uint32_t set = 0;   ///< set probed (the flusher's resolved view)
+  };
+
+  /// Invalidate the line containing `addr` if resident, writing it back
+  /// first when dirty (the TSISA `flush rs` primitive).  The probed set is
+  /// resolved through the FLUSHER's mapping context - under per-process
+  /// placement seeds a cross-context flush probes the flusher's view of
+  /// the address, which is the security property flush-channel attacks
+  /// exercise.  On a TTL cache the probe advances the expiry clock and
+  /// reclaims dead lines of the set first, exactly like access(): a line
+  /// whose TTL elapsed can never report `present`.  Counted in
+  /// line_flushes/line_flush_hits/flushed_lines/writebacks; NOT an access
+  /// (miss_rate is about demand traffic).  Replacement metadata is left
+  /// untouched: fills prefer invalid ways before consulting it, so the
+  /// stale entry self-heals on the next fill of the set (the reference
+  /// oracle mirrors this exactly).
+  FlushLineResult flush_line(ProcId proc, Addr addr);
 
   /// `count` back-to-back repeated accesses (reads) of the line containing
   /// `addr`, all guaranteed hits because nothing intervenes between them:

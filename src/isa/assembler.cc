@@ -123,6 +123,13 @@ class Encoder {
     instr.op = *op;
     switch (format_of(*op)) {
       case Format::kR:
+        if (*op == Op::kFlush) {
+          // `flush rs1`: one register, the address whose line to flush
+          // (rd and rs2 stay zero in the encoding).
+          need_operands(st, 1);
+          instr.rs1 = reg(st, 0);
+          break;
+        }
         need_operands(st, 3);
         instr.rd = reg(st, 0);
         instr.rs1 = reg(st, 1);

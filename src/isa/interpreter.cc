@@ -264,6 +264,12 @@ RunResult Interpreter::run_loop(Addr entry, std::uint64_t max_steps) {
       case Op::kNop:
         machine_.instr(pc);
         break;
+      case Op::kFlush:
+        // Flush the line containing the address in rs1 from every cache
+        // level; functionally a no-op (no register or memory effect), but
+        // the machine pays the present/absent-dependent flush latency.
+        machine_.flush_line(pc, a);
+        break;
     }
 
     pc = next_pc;

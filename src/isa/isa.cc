@@ -9,7 +9,7 @@
 namespace tsc::isa {
 namespace {
 
-constexpr int kOpcodeCount = static_cast<int>(Op::kNop) + 1;
+constexpr int kOpcodeCount = static_cast<int>(Op::kFlush) + 1;
 
 struct OpInfo {
   const char* name;
@@ -28,7 +28,7 @@ constexpr std::array<OpInfo, kOpcodeCount> kOpTable{{
     {"beq", Format::kB},   {"bne", Format::kB},   {"blt", Format::kB},
     {"bge", Format::kB},   {"bltu", Format::kB},  {"bgeu", Format::kB},
     {"jal", Format::kJ},   {"jalr", Format::kI},  {"halt", Format::kNone},
-    {"nop", Format::kNone},
+    {"nop", Format::kNone}, {"flush", Format::kR},
 }};
 
 const OpInfo& info(Op op) { return kOpTable[static_cast<std::size_t>(op)]; }
@@ -146,8 +146,12 @@ std::string to_string(const Instr& instr) {
   const std::string name = mnemonic(instr.op);
   switch (format_of(instr.op)) {
     case Format::kR:
-      std::snprintf(buf, sizeof buf, "%s r%d, r%d, r%d", name.c_str(),
-                    instr.rd, instr.rs1, instr.rs2);
+      if (instr.op == Op::kFlush) {
+        std::snprintf(buf, sizeof buf, "%s r%d", name.c_str(), instr.rs1);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s r%d, r%d, r%d", name.c_str(),
+                      instr.rd, instr.rs1, instr.rs2);
+      }
       break;
     case Format::kI:
       if (is_memory(instr.op)) {

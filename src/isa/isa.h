@@ -35,6 +35,10 @@ enum class Op : std::uint8_t {
   // Control
   kBeq, kBne, kBlt, kBge, kBltu, kBgeu, kJal, kJalr,
   kHalt, kNop,
+  // Cache maintenance: flush the line containing the address in rs1 from
+  // every cache level (R-type encoding, rd = rs2 = 0).  Appended after
+  // kNop so every pre-existing encoding stays stable.
+  kFlush,
 };
 
 /// Decoded instruction.

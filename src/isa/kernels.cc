@@ -148,4 +148,60 @@ done:   halt
                 span);
 }
 
+std::string flush_reload_source(Addr data, unsigned lines,
+                                unsigned line_bytes) {
+  return format(R"(
+        la   r1, 0x%llx        ; data base
+        li   r2, %u            ; line count
+        li   r3, 0             ; reload sum
+        li   r4, %u            ; line stride
+        ; pass 1: flush every monitored line
+        addi r5, r0, 0         ; i
+        add  r6, r1, r0        ; cursor
+fl:     bge  r5, r2, reload
+        flush r6
+        add  r6, r6, r4
+        addi r5, r5, 1
+        jal  r0, fl
+        ; pass 2: reload every line (all compulsory misses now)
+reload: addi r5, r0, 0
+        add  r6, r1, r0
+rl:     bge  r5, r2, done
+        lw   r7, 0(r6)
+        add  r3, r3, r7
+        add  r6, r6, r4
+        addi r5, r5, 1
+        jal  r0, rl
+done:   halt
+)",
+                static_cast<unsigned long long>(data), lines, line_bytes);
+}
+
+std::string flush_storm_source(Addr data, unsigned lines, unsigned line_bytes,
+                               unsigned rounds) {
+  return format(R"(
+        la   r1, 0x%llx        ; data base
+        li   r2, %u            ; line count
+        li   r3, %u            ; line stride
+        li   r4, %u            ; rounds
+        addi r5, r0, 0         ; round
+round:  bge  r5, r4, done
+        addi r6, r0, 0         ; i
+        add  r7, r1, r0        ; cursor
+line:   bge  r6, r2, next
+        lw   r8, 0(r7)         ; make the line resident
+        sw   r8, 0(r7)         ; ...and dirty (writeback-flush path)
+        flush r7               ; present + dirty: the expensive flush
+        flush r7               ; absent: the cheap flush
+        add  r7, r7, r3
+        addi r6, r6, 1
+        jal  r0, line
+next:   addi r5, r5, 1
+        jal  r0, round
+done:   halt
+)",
+                static_cast<unsigned long long>(data), lines, line_bytes,
+                rounds);
+}
+
 }  // namespace tsc::isa

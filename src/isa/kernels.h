@@ -30,4 +30,22 @@ namespace tsc::isa {
 [[nodiscard]] std::string stride_walk_source(Addr data, unsigned touches,
                                              unsigned stride, unsigned span);
 
+/// Flush+Reload round over `lines` consecutive cache lines at `data`
+/// (`line_bytes` apart): one pass flushing every line, one pass reloading
+/// them.  Sum of reloaded words in r3.  Exercises the `flush` instruction
+/// against resident, absent and freshly reloaded lines - the interpreter-
+/// equivalence and batching regressions drive it; it is NOT part of the
+/// pWCET kernel_suite (adding a kernel there would change the matrix cell
+/// family and every committed golden).
+[[nodiscard]] std::string flush_reload_source(Addr data, unsigned lines,
+                                              unsigned line_bytes);
+
+/// Flush storm: `rounds` passes over `lines` lines at `data`, each pass
+/// touching a line (load), flushing it, then flushing it AGAIN - so every
+/// round exercises both the present-flush and the absent-flush latency
+/// path, plus a store so dirty-writeback flushes occur.
+[[nodiscard]] std::string flush_storm_source(Addr data, unsigned lines,
+                                             unsigned line_bytes,
+                                             unsigned rounds);
+
 }  // namespace tsc::isa

@@ -82,6 +82,30 @@ attack::EvictTimeProfile ProfileCodec::get_evict_time(ByteReader& r) {
   return p;
 }
 
+void ProfileCodec::put(ByteWriter& w, const attack::FlushProfile& p) {
+  w.put_varint(p.lines_);
+  w.put_varint(p.sums_.size());
+  for (const std::uint64_t v : p.sums_) w.put_varint(v);
+  for (const auto& row : p.counts_) {
+    for (const std::uint64_t v : row) w.put_varint(v);
+  }
+  w.put_varint(p.total_trials_);
+}
+
+attack::FlushProfile ProfileCodec::get_flush(ByteReader& r) {
+  const auto lines = static_cast<std::uint32_t>(r.varint());
+  check(lines > 0, "flush profile payload has zero lines");
+  attack::FlushProfile p(lines);
+  const auto n = static_cast<std::size_t>(r.varint());
+  check(n == p.sums_.size(), "flush profile payload size mismatch");
+  for (std::uint64_t& v : p.sums_) v = r.varint();
+  for (auto& row : p.counts_) {
+    for (std::uint64_t& v : row) v = r.varint();
+  }
+  p.total_trials_ = r.varint();
+  return p;
+}
+
 // --- composite values --------------------------------------------------------
 
 void put_doubles(ByteWriter& w, const std::vector<double>& v) {
@@ -141,6 +165,20 @@ attack::EvictTimeOutcome get_et_outcome(ByteReader& r) {
   attack::EvictTimeProfile profile = ProfileCodec::get_evict_time(r);
   stats::JointHistogram channel = get_joint_histogram(r);
   attack::EvictTimeOutcome out(profile.sets(), 1);
+  out.profile = std::move(profile);
+  out.channel = std::move(channel);
+  return out;
+}
+
+void put_flush_outcome(ByteWriter& w, const attack::FlushOutcome& o) {
+  ProfileCodec::put(w, o.profile);
+  put_joint_histogram(w, o.channel);
+}
+
+attack::FlushOutcome get_flush_outcome(ByteReader& r) {
+  attack::FlushProfile profile = ProfileCodec::get_flush(r);
+  stats::JointHistogram channel = get_joint_histogram(r);
+  attack::FlushOutcome out(profile.lines(), 1);
   out.profile = std::move(profile);
   out.channel = std::move(channel);
   return out;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "attack/evicttime.h"
+#include "attack/flushreload.h"
 #include "attack/primeprobe.h"
 #include "attack/profile.h"
 #include "core/campaign.h"
@@ -36,6 +37,9 @@ struct ProfileCodec {
 
   static void put(ByteWriter& w, const attack::EvictTimeProfile& p);
   [[nodiscard]] static attack::EvictTimeProfile get_evict_time(ByteReader& r);
+
+  static void put(ByteWriter& w, const attack::FlushProfile& p);
+  [[nodiscard]] static attack::FlushProfile get_flush(ByteReader& r);
 };
 
 void put_doubles(ByteWriter& w, const std::vector<double>& v);
@@ -49,6 +53,9 @@ void put_pp_outcome(ByteWriter& w, const attack::PrimeProbeOutcome& o);
 
 void put_et_outcome(ByteWriter& w, const attack::EvictTimeOutcome& o);
 [[nodiscard]] attack::EvictTimeOutcome get_et_outcome(ByteReader& r);
+
+void put_flush_outcome(ByteWriter& w, const attack::FlushOutcome& o);
+[[nodiscard]] attack::FlushOutcome get_flush_outcome(ByteReader& r);
 
 void put_side_result(ByteWriter& w, const core::SideResult& s);
 [[nodiscard]] core::SideResult get_side_result(ByteReader& r);

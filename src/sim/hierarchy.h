@@ -107,6 +107,44 @@ class Hierarchy {
   /// (drives the flush timing cost).
   std::uint64_t flush_all();
 
+  /// Outcome of a per-line flush across the hierarchy.
+  struct FlushResult {
+    Cycles latency = 0;
+    bool present = false;    ///< resident in at least one level
+    bool writeback = false;  ///< a dirty copy was written back
+  };
+
+  /// Flush the line containing `addr` from every level, probing each
+  /// through `proc`'s resolved mapping (Cache::flush_line).  The latency is
+  /// flush_base plus flush_hit per level that held the line plus
+  /// flush_writeback per dirty copy - so a flush of a PRESENT line
+  /// observably costs more than a flush of an absent one.  That delta IS
+  /// the Flush+Flush channel; under latency quantization (TimeCache) the
+  /// total is rounded up to the quantum like every access, masking it.
+  FlushResult flush_line(ProcId proc, Addr addr) {
+    const LatencyConfig& lat = config_.latency;
+    FlushResult result;
+    result.latency = lat.flush_base;
+    cache::Cache* levels[3] = {l1i_.get(), l1d_.get(), l2_.get()};
+    for (cache::Cache* level : levels) {
+      if (level == nullptr) continue;
+      const cache::Cache::FlushLineResult f = level->flush_line(proc, addr);
+      if (f.present) {
+        result.present = true;
+        result.latency += lat.flush_hit;
+      }
+      if (f.writeback) {
+        result.writeback = true;
+        result.latency += lat.flush_writeback;
+      }
+    }
+    if (lat.quantum > 0) [[unlikely]] {
+      result.latency =
+          (result.latency + lat.quantum - 1) / lat.quantum * lat.quantum;
+    }
+    return result;
+  }
+
   [[nodiscard]] cache::Cache& l1i() { return *l1i_; }
   [[nodiscard]] cache::Cache& l1d() { return *l1d_; }
   [[nodiscard]] bool has_l2() const { return l2_ != nullptr; }

@@ -20,6 +20,19 @@ struct LatencyConfig {
   unsigned pipeline_depth = 5; ///< stages; drain cost = depth - 1
   Cycles seed_update = 2;      ///< writing a placement-seed register
   Cycles flush_per_line = 1;   ///< invalidating one valid line during flush
+  /// Fixed cost of ISSUING a flush operation (whole-cache or per-line):
+  /// the pipeline slot plus one tag probe per level, paid even when nothing
+  /// is resident.  Without it a flush of an empty hierarchy would cost 0
+  /// cycles - a degenerate timing model that also made flush-timing
+  /// channels unmeasurable.
+  Cycles flush_base = 3;
+  /// Extra per-line-flush cost for each LEVEL that actually held the line
+  /// (invalidate + coherence acknowledge).  The present/absent delta is
+  /// precisely the observable a Flush+Flush attacker times.
+  Cycles flush_hit = 4;
+  /// Extra per-line-flush cost when an invalidated line was dirty (the
+  /// writeback drains to the next level before the flush completes).
+  Cycles flush_writeback = 12;
   /// TimeCache-style access-time quantization (arXiv:2009.14732): when > 0,
   /// every hierarchy access latency is rounded UP to the next multiple of
   /// `quantum` before it reaches the core.  A quantum at least as large as

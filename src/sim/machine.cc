@@ -33,6 +33,9 @@ void Machine::run(std::span<const AccessRecord> batch) {
       case AccessRecord::Op::kBranch:
         branch(r.pc, r.taken);
         break;
+      case AccessRecord::Op::kFlush:
+        flush_line(r.pc, r.ea);
+        break;
     }
   }
 }
@@ -54,7 +57,12 @@ void Machine::set_seed(ProcId proc, Seed master) {
 void Machine::flush_caches() {
   ++stats_.flushes;
   const std::uint64_t lines = hierarchy_.flush_all();
-  now_ += lines * latency().flush_per_line;
+  // flush_base is paid unconditionally: issuing the flush costs the
+  // pipeline slot and a tag sweep even when every line is already invalid.
+  // (Charging only per invalidated line made an empty-hierarchy flush free,
+  // which is both an unrealistic timing model and a degenerate observable
+  // for flush-timing channels.)
+  now_ += latency().flush_base + lines * latency().flush_per_line;
 }
 
 void Machine::reset_stats() {

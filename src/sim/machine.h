@@ -11,7 +11,9 @@
 //   * taken branches pay a fixed resolve bubble,
 //   * seed changes drain the pipeline (paper section 5: "empty the pipeline
 //     and restore the seed of the incoming SWC"),
-//   * cache flushes cost per invalidated line.
+//   * cache flushes cost a fixed issue cost plus per invalidated line;
+//     per-line flushes (the `flush` instruction) cost more when the line
+//     was present - the flush-timing observable.
 //
 // Fetch is modeled per instruction against the real PC, so instruction-cache
 // conflicts (the target of Aciiçmez-style attacks) are simulated, not
@@ -42,14 +44,15 @@ struct MachineStats {
   std::uint64_t drains = 0;
   std::uint64_t seed_changes = 0;
   std::uint64_t flushes = 0;
+  std::uint64_t line_flushes = 0;  ///< per-line flush instructions executed
 };
 
 /// One pre-decoded machine operation for batched replay (Machine::run).
 struct AccessRecord {
-  enum class Op : std::uint8_t { kInstr, kLoad, kStore, kBranch };
+  enum class Op : std::uint8_t { kInstr, kLoad, kStore, kBranch, kFlush };
 
   Addr pc = 0;
-  Addr ea = 0;  ///< effective address (loads/stores only)
+  Addr ea = 0;  ///< effective address (loads/stores/flushes only)
   Op op = Op::kInstr;
   bool taken = false;  ///< branches only
 
@@ -64,6 +67,9 @@ struct AccessRecord {
   }
   [[nodiscard]] static AccessRecord make_branch(Addr pc, bool taken) {
     return {pc, 0, Op::kBranch, taken};
+  }
+  [[nodiscard]] static AccessRecord make_flush(Addr pc, Addr ea) {
+    return {pc, ea, Op::kFlush, false};
   }
 };
 
@@ -133,6 +139,18 @@ class Machine {
     ++stats_.stores;
     const HierarchyResult d = hierarchy_.access(Port::kData, proc_, ea, true);
     now_ += d.latency - latency().l1_hit;
+  }
+
+  /// Per-line flush instruction at `pc` targeting `ea` (TSISA `flush rs`):
+  /// fetch like any instruction, then flush the line from every cache level
+  /// through the CURRENT process's mapping context.  The flush latency
+  /// observably differs for present vs absent lines (Hierarchy::flush_line)
+  /// - the Flush+Flush timing channel.
+  void flush_line(Addr pc, Addr ea) {
+    instr(pc);
+    ++stats_.line_flushes;
+    const Hierarchy::FlushResult r = hierarchy_.flush_line(proc_, ea);
+    now_ += r.latency;
   }
 
   /// Branch instruction at `pc`; taken branches pay the resolve bubble.

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "attack/evicttime.h"
+#include "attack/flushreload.h"
 #include "attack/primeprobe.h"
 #include "attack/profile.h"
 #include "runner/checkpoint.h"
@@ -157,6 +158,46 @@ TEST(ByteCodecTest, EvictTimeOutcomeRoundTripIsExact) {
                 outcome.profile.cell_mean(1, v, s));
       EXPECT_EQ(copy.profile.cell_count(1, v, s),
                 outcome.profile.cell_count(1, v, s));
+    }
+  }
+}
+
+TEST(ByteCodecTest, FlushOutcomeRoundTripIsExact) {
+  attack::FlushOutcome outcome(/*lines=*/16, /*line_classes=*/4);
+  crypto::Block pt{};
+  std::vector<std::uint8_t> touched(16);
+  for (int i = 0; i < 96; ++i) {
+    for (std::size_t b = 0; b < pt.size(); ++b) {
+      pt[b] = static_cast<std::uint8_t>(i * 11 + b * 5);
+    }
+    for (std::size_t m = 0; m < touched.size(); ++m) {
+      touched[m] = static_cast<std::uint8_t>((i + m) % 3 == 0);
+    }
+    outcome.profile.add(pt, touched);
+    outcome.channel.add(i % 4, i % 5);
+  }
+  ByteWriter writer;
+  put_flush_outcome(writer, outcome);
+  ByteReader reader(writer.bytes());
+  const attack::FlushOutcome copy = get_flush_outcome(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(copy.profile.samples(), outcome.profile.samples());
+  EXPECT_EQ(copy.profile.lines(), outcome.profile.lines());
+  for (int pos = 0; pos < attack::FlushProfile::kPositions; ++pos) {
+    for (int v = 0; v < attack::FlushProfile::kValues; ++v) {
+      ASSERT_EQ(copy.profile.cell_count(pos, v),
+                outcome.profile.cell_count(pos, v));
+      for (std::uint32_t m = 0; m < 16; ++m) {
+        ASSERT_EQ(copy.profile.cell_mean(pos, v, m),
+                  outcome.profile.cell_mean(pos, v, m));
+      }
+    }
+  }
+  ASSERT_EQ(copy.channel.x_classes(), outcome.channel.x_classes());
+  ASSERT_EQ(copy.channel.y_bins(), outcome.channel.y_bins());
+  for (std::size_t x = 0; x < copy.channel.x_classes(); ++x) {
+    for (std::size_t y = 0; y < copy.channel.y_bins(); ++y) {
+      EXPECT_EQ(copy.channel.cell(x, y), outcome.channel.cell(x, y));
     }
   }
 }
@@ -514,6 +555,15 @@ TEST(ResumeBitIdentityTest, AttackMatrixMatchesGoldenFixtureAfterInterrupt) {
   const std::string expected =
       read_fixture("tests/golden/attack_matrix_s1200_ss400.json");
   check_interrupt_resume("attack_matrix", 1200, 400, 3, expected);
+}
+
+TEST(ResumeBitIdentityTest, FlushMatrixMatchesGoldenFixtureAfterInterrupt) {
+  // The flush-channel campaign checkpoints FlushOutcome payloads (the
+  // FlushProfile codec above); interrupting mid-matrix and resuming with a
+  // different worker count must still land byte-identically on the golden.
+  const std::string expected =
+      read_fixture("tests/golden/flush_matrix_s600_ss200.json");
+  check_interrupt_resume("flush_matrix", 600, 200, 3, expected);
 }
 
 TEST(ResumeBitIdentityTest, PwcetMatrixMatchesGoldenFixtureAfterInterrupt) {

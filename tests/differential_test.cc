@@ -8,8 +8,11 @@
 // scans, the fused LRU update, the outlined partition/contention paths and
 // the resolved mapping contexts must all be observationally identical to
 // the plain map-based model for EVERY design point - not just the fixtures
-// unit tests happen to cover.  Streams include writes, reseeds mid-stream
-// and flushes, across multiple processes, under ASan/UBSan in CI.
+// unit tests happen to cover.  Streams include writes, reseeds mid-stream,
+// whole-cache flushes AND per-line flush probes (the Flush+Reload /
+// Flush+Flush primitive: resolved-mapping set choice, TTL tick-then-scan
+// ordering, dirty writeback, untouched replacement metadata), across
+// multiple processes, under ASan/UBSan in CI.
 //
 // Each design point replays a >= 1e5-access stream.  Way counts cover both
 // access paths: 4 ways takes the specialized WAYS == 4 template (with the
@@ -24,8 +27,10 @@
 #include <tuple>
 
 #include "cache/builder.h"
+#include "core/policy.h"
 #include "reference_cache.h"
 #include "rng/rng.h"
+#include "sim/hierarchy.h"
 
 namespace tsc::cache {
 namespace {
@@ -62,8 +67,12 @@ std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
 }
 
 /// Replay one randomized stream through both models and compare exhaustively.
+/// The flush periods control how often structural flush events interleave
+/// with the demand traffic; the dense-flush policy sweep tightens them.
 void run_differential(const CacheSpec& spec, bool partitioned,
-                      std::uint64_t seed, std::size_t stream_length) {
+                      std::uint64_t seed, std::size_t stream_length,
+                      std::size_t line_flush_period = 577,
+                      std::size_t full_flush_period = 23459) {
   // Same-seeded but SEPARATE generators: the models must consume random
   // draws at exactly the same points to stay aligned.
   auto fast_rng = std::make_shared<rng::XorShift64Star>(seed);
@@ -103,9 +112,25 @@ void run_differential(const CacheSpec& spec, bool partitioned,
       fast->set_seed(p, s);
       ref.set_seed(p, s);
     }
-    if (i % 23459 == 23458) {
+    if (i % full_flush_period == full_flush_period - 1) {
       const std::uint64_t flushed = fast->flush();
       ASSERT_EQ(flushed, ref.flush()) << "flush divergence at access " << i;
+    }
+    if (i % line_flush_period == line_flush_period - 1) {
+      // Per-line flush probe: the FLUSHER'S resolved mapping picks the set
+      // (proc A flushing a line proc B cached scans A's set, not B's), the
+      // TTL clock ticks and expires BEFORE the scan, a dirty copy writes
+      // back, and replacement metadata stays untouched.  Same hot/cold
+      // address split as the demand traffic so present-flushes are common.
+      const ProcId fp = procs[script.next_below(3)];
+      const Addr fregion = script.next_bool() ? size / 2 : 4 * size;
+      const Addr faddr = script.next_below(fregion / line) * line;
+      const Cache::FlushLineResult got_f = fast->flush_line(fp, faddr);
+      const ReferenceCache::FlushLineResult want_f = ref.flush_line(fp, faddr);
+      ASSERT_EQ(got_f.present, want_f.present) << "line flush at access " << i;
+      ASSERT_EQ(got_f.writeback, want_f.writeback)
+          << "line flush at access " << i;
+      ASSERT_EQ(got_f.set, want_f.set) << "line flush at access " << i;
     }
 
     const ProcId proc = procs[script.next_below(3)];
@@ -136,6 +161,8 @@ void run_differential(const CacheSpec& spec, bool partitioned,
   EXPECT_EQ(got.ttl_expirations, want.ttl_expirations);
   EXPECT_EQ(got.flushes, want.flushes);
   EXPECT_EQ(got.flushed_lines, want.flushed_lines);
+  EXPECT_EQ(got.line_flushes, want.line_flushes);
+  EXPECT_EQ(got.line_flush_hits, want.line_flush_hits);
   EXPECT_EQ(fast->valid_lines(), ref.valid_lines());
 }
 
@@ -271,6 +298,36 @@ TEST(DifferentialWritePolicies, WriteAroundMatchesReference) {
   spec.mapper = MapperKind::kRandomModulo;
   spec.replacement = ReplacementKind::kRandom;
   run_differential(spec, /*partitioned=*/false, 0xBEEF02, kStreamLength);
+}
+
+// Flush-semantics bug hunt: line flushes and whole-cache flushes interleaved
+// DENSELY (every 7th / 1013th event) into the demand stream, under the
+// ACTUAL per-level cache configurations of all seven matrix policies - the
+// Clepsydra levels bring per-line TTLs (tick-then-scan ordering on every
+// flush probe), the Random-and-Safe levels bring random fill (the demanded
+// line is absent, so flush probes of just-missed lines must miss too), the
+// TimeCache/modulo/hashRP/RPCache/RM levels pin the plain and permutation
+// mappings.  Every divergence the resolved-mapping fast path could hide
+// (wrong set scanned for a cross-process flush, TTL expiry attributed to
+// the flush hit, writeback double-count, replacement metadata disturbed)
+// surfaces here as an exact-equality failure against the naive oracle.
+
+TEST(DifferentialFlush, DenseFlushStormsMatchReferenceForEveryPolicyLevel) {
+  std::uint64_t seed = 0xF1005'0000;
+  for (const core::PlacementPolicy policy : core::all_policies()) {
+    const sim::HierarchyConfig config = core::policy_hierarchy_config(policy);
+    const struct {
+      const CacheSpec* spec;
+      const char* name;
+    } levels[] = {{&config.l1d, "l1d"}, {&config.l2.value(), "l2"}};
+    for (const auto& level : levels) {
+      SCOPED_TRACE(core::to_string(policy) + "/" + level.name);
+      run_differential(*level.spec, /*partitioned=*/false, ++seed, 20'000,
+                       /*line_flush_period=*/7, /*full_flush_period=*/1013);
+      run_differential(*level.spec, /*partitioned=*/true, ++seed, 20'000,
+                       /*line_flush_period=*/7, /*full_flush_period=*/1013);
+    }
+  }
 }
 
 }  // namespace

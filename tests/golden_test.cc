@@ -28,6 +28,8 @@
 //       > tests/golden/attack_matrix_s1200_ss400.json
 //   tsc_run --experiment pwcet_matrix --samples 240 --shard-size 80 --json
 //       > tests/golden/pwcet_matrix_s240_ss80.json
+//   tsc_run --experiment flush_matrix --samples 600 --shard-size 200 --json
+//       > tests/golden/flush_matrix_s600_ss200.json
 // (each command on one line) and say so loudly in the commit message - this
 // file is the contract that performance work does not move simulation
 // results.
@@ -113,6 +115,38 @@ TEST(GoldenAttackMatrix, WorkerCountDoesNotChangeOutput) {
   ASSERT_FALSE(expected.empty());
   EXPECT_EQ(run_attack_matrix_json(/*workers=*/5), expected)
       << "attack_matrix output must be worker-count invariant";
+}
+
+TEST(GoldenFlushMatrix, MatchesCommittedFixtureByteForByte) {
+  const std::string expected =
+      read_fixture("tests/golden/flush_matrix_s600_ss200.json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(run_experiment_json("flush_matrix", 600, 200, /*workers=*/2),
+            expected)
+      << "flush_matrix diverged from the committed fixture";
+  // The fixture itself must certify the flush-channel claims: shared-memory
+  // flushes defeat placement randomization AND partitioning, while the
+  // observable-side defenses (quantization, random fill) blind the channel
+  // and Clepsydra's TTLs are too long to matter.
+  for (const char* claim :
+       {"\"flush_reload_defeats_placement_randomization\":true",
+        "\"partitioning_does_not_stop_flush_reload\":true",
+        "\"flush_flush_line_resolves_modulo\":true",
+        "\"clepsydra_ttls_outlive_flush_window\":true",
+        "\"random_fill_blinds_flush_reload\":true",
+        "\"quantization_blinds_flush_channel\":true"}) {
+    EXPECT_NE(expected.find(claim), std::string::npos)
+        << "fixture lost claim " << claim;
+  }
+}
+
+TEST(GoldenFlushMatrix, WorkerCountDoesNotChangeOutput) {
+  const std::string expected =
+      read_fixture("tests/golden/flush_matrix_s600_ss200.json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(run_experiment_json("flush_matrix", 600, 200, /*workers=*/5),
+            expected)
+      << "flush_matrix output must be worker-count invariant";
 }
 
 TEST(GoldenPwcetMatrix, MatchesFixtureAndAssertsThePapersClaim) {

@@ -95,6 +95,26 @@ TEST(InterpreterEquivalence, EveryKernelMatchesReferenceDecode) {
                           50'000'000);
 }
 
+TEST(InterpreterEquivalence, FlushKernelsMatchReferenceDecode) {
+  // The flush instruction's present/absent/dirty latency split must agree
+  // between the pre-decoded and reference paths - including flushes that
+  // invalidate a line mid-run and reloads of freshly flushed lines.
+  expect_paths_equivalent(flush_reload_source(0x40000, 64, 32), 50'000'000);
+  expect_paths_equivalent(flush_storm_source(0x40000, 32, 32, 8),
+                          50'000'000);
+  // A flush aimed at the CODE region: the next fetch of that line must
+  // re-miss identically on both paths (the decode cache is architectural
+  // state, not cache state - it must NOT shield the fetch).
+  expect_paths_equivalent(
+      "        la   r1, 0x1000\n"
+      "loop:   flush r1\n"
+      "        addi r2, r2, 1\n"
+      "        slti r3, r2, 50\n"
+      "        bne  r3, r0, loop\n"
+      "        halt\n",
+      100'000);
+}
+
 TEST(InterpreterEquivalence, BadInstructionAndStepLimitMatch) {
   // An undecodable word inside the pre-decoded image (the cached !ok path
   // vs the reference decode failure).

@@ -71,6 +71,8 @@ class ReferenceCache {
     std::uint64_t ttl_expirations = 0;
     std::uint64_t flushes = 0;
     std::uint64_t flushed_lines = 0;
+    std::uint64_t line_flushes = 0;
+    std::uint64_t line_flush_hits = 0;
   };
 
   ReferenceCache(const CacheSpec& spec, std::shared_ptr<rng::Rng> rng)
@@ -154,6 +156,56 @@ class ReferenceCache {
                          std::uint32_t way_count) {
     assert(way_count >= 1 && first_way + way_count <= ways_);
     partitions_[proc.value] = {first_way, way_count};
+  }
+
+  /// Mirrors cache::Cache::flush_line field for field.
+  struct FlushLineResult {
+    bool present = false;
+    bool writeback = false;
+    std::uint32_t set = 0;
+  };
+
+  /// Single-line flush, restated from the documented semantics: the
+  /// FLUSHER's mapping context resolves the set (clflush with a shared
+  /// line - the flusher addresses the same placement the victim's fills
+  /// used because they share the process context); the TTL clock ticks
+  /// and the probed set is lazily reclaimed FIRST, exactly as a demand
+  /// access would (a dead line must not read back as present); the flush
+  /// is not an access (no accesses/hits/miss accounting) and touches no
+  /// replacement metadata - fills prefer invalid ways, so the stale
+  /// history self-heals on the next allocation, way for way like the
+  /// production cache.
+  FlushLineResult flush_line(ProcId proc, Addr addr) {
+    const Addr line = geo_.line_addr(addr);
+    const std::uint32_t set = mapper_->map(line, proc);
+    std::vector<Entry>& entries = set_entries(set);
+    if (ttl_enabled_) {
+      ++ttl_clock_;
+      for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (entries[w].valid && entries[w].expiry <= ttl_clock_) {
+          ++stats_.ttl_expirations;
+          if (entries[w].dirty) ++stats_.writebacks;
+          entries[w] = Entry{};
+        }
+      }
+    }
+    ++stats_.line_flushes;
+    FlushLineResult result;
+    result.set = set;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (entries[w].valid && entries[w].line == (line & kTagMask)) {
+        result.present = true;
+        ++stats_.line_flush_hits;
+        ++stats_.flushed_lines;
+        if (entries[w].dirty) {
+          ++stats_.writebacks;
+          result.writeback = true;
+        }
+        entries[w] = Entry{};
+        break;
+      }
+    }
+    return result;
   }
 
   std::uint64_t flush() {
