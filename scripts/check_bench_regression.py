@@ -7,6 +7,10 @@ Usage:
 Both files are google-benchmark ``--benchmark_format=json`` documents.  The
 check fails (exit 1) when any benchmark present in both files is more than
 ``tolerance`` slower than the baseline, after normalizing for machine speed.
+It also fails (exit 2) when a baseline benchmark is MISSING from the current
+run: a silently dropped benchmark would otherwise turn the gate off for
+exactly the code path it was guarding.  A renamed or retired benchmark must
+be accompanied by a regenerated baseline.
 
 Normalization: absolute nanoseconds are not comparable across CI runners and
 developer machines, so every cpu_time is divided by the host's
@@ -52,6 +56,15 @@ def main() -> int:
     if CALIBRATION not in base or CALIBRATION not in cur:
         print(f"error: calibration benchmark {CALIBRATION!r} missing",
               file=sys.stderr)
+        return 2
+
+    missing = sorted(set(base) - set(cur) - {CALIBRATION})
+    if missing:
+        print(f"error: {len(missing)} baseline benchmark(s) missing from "
+              f"the current run: {', '.join(missing)}\n"
+              "every baseline entry must be produced by the current binary; "
+              "if a benchmark was renamed or retired on purpose, regenerate "
+              "the committed baseline in the same change.", file=sys.stderr)
         return 2
 
     scale = base[CALIBRATION] / cur[CALIBRATION]

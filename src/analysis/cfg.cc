@@ -1,0 +1,154 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace tsc::analysis {
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+bool is_control(Op op) {
+  return isa::is_branch(op) || op == Op::kJal || op == Op::kJalr ||
+         op == Op::kHalt;
+}
+
+}  // namespace
+
+Cfg build_cfg(const isa::Program& program, Addr entry) {
+  Cfg cfg;
+  cfg.base = program.base;
+  cfg.word_count = program.words.size();
+  cfg.entry = entry;
+
+  const std::size_t n = program.words.size();
+  if (entry < program.base || (entry - program.base) % 4 != 0 ||
+      (entry - program.base) / 4 >= n) {
+    cfg.may_leave_image = true;  // execution starts outside the image
+    return cfg;
+  }
+  const std::size_t entry_idx = (entry - program.base) / 4;
+
+  std::vector<std::optional<Instr>> instrs(n);
+  for (std::size_t i = 0; i < n; ++i) instrs[i] = isa::decode(program.words[i]);
+
+  // Static successor indices of instruction i; out-of-image targets are
+  // dropped and recorded as may_leave_image.  jalr contributes no static
+  // successors here - its widening is applied after reachability.
+  const auto succ_of = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    if (!instrs[i].has_value()) return out;  // bad instruction: stops
+    const Instr& in = *instrs[i];
+    const auto push_target = [&](std::int64_t idx) {
+      if (idx >= 0 && idx < static_cast<std::int64_t>(n)) {
+        out.push_back(static_cast<std::size_t>(idx));
+      } else {
+        cfg.may_leave_image = true;
+      }
+    };
+    const auto si = static_cast<std::int64_t>(i);
+    if (isa::is_branch(in.op)) {
+      push_target(si + 1);            // fall-through
+      push_target(si + 1 + in.imm);   // taken: pc + 4 + 4*imm
+    } else if (in.op == Op::kJal) {
+      push_target(si + 1 + in.imm);
+    } else if (in.op == Op::kJalr) {
+      cfg.may_leave_image = true;  // register target: could go anywhere
+    } else if (in.op != Op::kHalt) {
+      push_target(si + 1);
+    }
+    return out;
+  };
+
+  // Reachability from the entry.  A reachable jalr widens the target set to
+  // every decodable in-image instruction (sound for in-image executions).
+  std::vector<bool> reachable(n, false);
+  std::vector<std::size_t> worklist{entry_idx};
+  reachable[entry_idx] = true;
+  while (!worklist.empty()) {
+    const std::size_t i = worklist.back();
+    worklist.pop_back();
+    if (instrs[i].has_value() && instrs[i]->op == Op::kJalr) {
+      cfg.has_indirect_jump = true;
+    }
+    for (const std::size_t s : succ_of(i)) {
+      if (!reachable[s]) {
+        reachable[s] = true;
+        worklist.push_back(s);
+      }
+    }
+  }
+  if (cfg.has_indirect_jump) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (instrs[i].has_value()) reachable[i] = true;
+    }
+  }
+
+  // Leaders.  With an indirect jump every reachable instruction may be a
+  // jump target, so every one starts its own block; otherwise leaders are
+  // the entry plus every static control-transfer target and fall-through.
+  std::vector<bool> leader(n, false);
+  leader[entry_idx] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!reachable[i]) continue;
+    if (cfg.has_indirect_jump) {
+      leader[i] = true;
+      continue;
+    }
+    if (instrs[i].has_value() && (isa::is_branch(instrs[i]->op) ||
+                                  instrs[i]->op == Op::kJal)) {
+      for (const std::size_t s : succ_of(i)) leader[s] = true;
+    }
+  }
+
+  // Carve blocks: from each leader up to (exclusive) the next leader or
+  // just past the first control transfer / undecodable word.
+  std::map<std::size_t, std::size_t> block_of;  // leader index -> block
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!reachable[i] || !leader[i]) continue;
+    block_of.emplace(i, cfg.blocks.size());
+    Block block;
+    block.pc = program.base + 4 * i;
+    for (std::size_t j = i;; ++j) {
+      if (j >= n || !instrs[j].has_value()) break;  // falls into a bad word
+      if (j > i && leader[j]) break;
+      block.instrs.push_back(*instrs[j]);
+      if (is_control(instrs[j]->op)) break;
+    }
+    cfg.blocks.push_back(std::move(block));
+  }
+
+  // Successor edges.
+  for (auto& [first, index] : block_of) {
+    Block& block = cfg.blocks[index];
+    if (block.instrs.empty()) continue;  // undecodable leader: stops
+    const std::size_t last = first + block.instrs.size() - 1;
+    const Op op = block.instrs.back().op;
+    if (op == Op::kJalr) {
+      // Conservative: any block may follow.
+      block.succs.reserve(cfg.blocks.size());
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        block.succs.push_back(b);
+      }
+      continue;
+    }
+    if (is_control(op)) {
+      for (const std::size_t s : succ_of(last)) {
+        block.succs.push_back(block_of.at(s));
+      }
+      continue;
+    }
+    // Cut by the next leader or by the image edge / a bad word.
+    const std::size_t next = last + 1;
+    if (next < n && reachable[next] && leader[next]) {
+      block.succs.push_back(block_of.at(next));
+    }
+  }
+
+  cfg.entry_block = block_of.at(entry_idx);
+  return cfg;
+}
+
+}  // namespace tsc::analysis

@@ -1,0 +1,61 @@
+// Control-flow graph over a decoded TSISA program image.
+//
+// The static leakage analyzer (analysis/taint.h) needs the set of paths an
+// execution can take *before* it runs: basic blocks and their successor
+// edges, derived purely from `isa::decode` over the program words.  The
+// construction is reachability-driven from the entry point and deliberately
+// conservative where the ISA allows dynamic targets:
+//
+//  * conditional branches get both the fall-through and the target edge;
+//  * `jal` gets its (static, pc-relative) target edge;
+//  * `jalr` jumps through a register, so its target set is unknowable in
+//    general.  A reachable `jalr` widens the CFG to ASSUME any in-image,
+//    decodable instruction may be a target: every such instruction becomes
+//    its own (single-instruction) block and the jalr block gets an edge to
+//    all of them.  Coarse, but sound for any execution that stays inside
+//    the image - which is exactly the soundness envelope the dynamic taint
+//    oracle checks (TaintOracle::left_image).
+//
+// Edges that would leave the image (branch targets outside it, falling off
+// either end) are dropped and recorded in `may_leave_image`: the analysis
+// result only covers executions confined to the loaded program, and the
+// flag tells callers when that caveat is live.  Undecodable words stop
+// execution (StopReason::kBadInstruction), so they terminate a block with
+// no successors, exactly like `halt`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/assembler.h"
+#include "isa/isa.h"
+
+namespace tsc::analysis {
+
+/// One basic block: a maximal straight-line run of decoded instructions.
+/// `pc` addresses the first instruction; instruction i executes at
+/// pc + 4 * i.  `succs` are indices into Cfg::blocks.
+struct Block {
+  Addr pc = 0;
+  std::vector<isa::Instr> instrs;
+  std::vector<std::size_t> succs;
+};
+
+/// The graph.  `blocks` is sorted by pc and contains only blocks reachable
+/// from the entry point (under the conservative jalr widening).
+struct Cfg {
+  Addr base = 0;                  ///< program image base address
+  std::size_t word_count = 0;     ///< image size in 32-bit words
+  Addr entry = 0;
+  std::vector<Block> blocks;
+  std::size_t entry_block = 0;    ///< index into blocks (when non-empty)
+  bool has_indirect_jump = false; ///< a reachable jalr forced the widening
+  bool may_leave_image = false;   ///< some path can exit the image
+};
+
+/// Build the CFG of `program` starting at `entry`.  An entry outside the
+/// image (or unaligned) yields an empty graph with may_leave_image set.
+[[nodiscard]] Cfg build_cfg(const isa::Program& program, Addr entry);
+
+}  // namespace tsc::analysis

@@ -1,0 +1,130 @@
+#include "analysis/dyntaint.h"
+
+namespace tsc::analysis {
+
+using isa::Instr;
+using isa::Op;
+
+TaintOracle::TaintOracle(SecretSpec spec, Addr image_base,
+                         std::size_t image_bytes)
+    : spec_(std::move(spec)), image_base_(image_base),
+      image_bytes_(image_bytes) {
+  reg_taint_ = spec_.secret_regs;
+  reg_taint_ &= static_cast<std::uint16_t>(~1u);  // r0 is hardwired public
+}
+
+void TaintOracle::set_taint(unsigned r, bool taint) {
+  if (r == 0) return;
+  if (taint) {
+    reg_taint_ |= static_cast<std::uint16_t>(1u << r);
+  } else {
+    reg_taint_ &= static_cast<std::uint16_t>(~(1u << r));
+  }
+}
+
+bool TaintOracle::mem_tainted(Addr a, Addr size) const {
+  for (const SecretRegion& r : spec_.regions) {
+    if (a < r.end && a + size > r.begin) return true;
+  }
+  for (Addr w = a & ~Addr{3}; w <= ((a + size - 1) & ~Addr{3}); w += 4) {
+    if (tainted_words_.count(w) != 0) return true;
+  }
+  return false;
+}
+
+void TaintOracle::taint_words(Addr a, Addr size) {
+  for (Addr w = a & ~Addr{3}; w <= ((a + size - 1) & ~Addr{3}); w += 4) {
+    tainted_words_.insert(w);
+  }
+}
+
+void TaintOracle::step(Addr pc, const Instr& in, Addr ea) {
+  if (pc < image_base_ || pc >= image_base_ + image_bytes_ ||
+      (pc - image_base_) % 4 != 0) {
+    // Outside the analyzed image: the static verdict makes no promise
+    // here.  Flag it and stop observing - the run will be filtered.
+    left_image_ = true;
+  }
+  if (left_image_) return;
+
+  const bool t1 = tainted(in.rs1);
+  const bool t2 = tainted(in.rs2);
+
+  switch (in.op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kMul:
+      set_taint(in.rd, t1 || t2);
+      break;
+
+    case Op::kAddi:
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kXori:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSlti:
+      set_taint(in.rd, t1);
+      break;
+    case Op::kLui:
+      set_taint(in.rd, false);  // reads nothing
+      break;
+
+    case Op::kLw:
+    case Op::kLb:
+    case Op::kLbu: {
+      if (t1) leaks_.emplace(pc, LeakKind::kMemoryAddress);
+      const Addr size = in.op == Op::kLw ? 4 : 1;
+      set_taint(in.rd, t1 || mem_tainted(ea, size));
+      break;
+    }
+
+    case Op::kSw:
+    case Op::kSb: {
+      if (t1) leaks_.emplace(pc, LeakKind::kMemoryAddress);
+      const Addr size = in.op == Op::kSw ? 4 : 1;
+      if (ea < image_base_ + image_bytes_ && ea + size > image_base_) {
+        wrote_code_ = true;  // self-modifying: static CFG no longer applies
+      }
+      if (tainted(in.rd)) taint_words(ea, size);  // stores read rd
+      break;
+    }
+
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      if (t1 || t2) leaks_.emplace(pc, LeakKind::kBranchCondition);
+      break;
+
+    case Op::kJal:
+      set_taint(in.rd, false);
+      break;
+    case Op::kJalr:
+      // Secret jump target = secret instruction fetch: same channel class
+      // as a secret branch condition (mirrors the static analyzer).
+      if (t1) leaks_.emplace(pc, LeakKind::kBranchCondition);
+      set_taint(in.rd, false);
+      break;
+
+    case Op::kFlush:
+      if (t1) leaks_.emplace(pc, LeakKind::kFlushOperand);
+      break;
+
+    case Op::kHalt:
+    case Op::kNop:
+      break;
+  }
+}
+
+}  // namespace tsc::analysis

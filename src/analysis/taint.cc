@@ -1,0 +1,419 @@
+#include "analysis/taint.h"
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+namespace tsc::analysis {
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+// --- provenance chains -------------------------------------------------------
+
+// Immutable, shared backward chains: every tainted abstract value points at
+// the node that created it.  Provenance is NOT part of the lattice order
+// (joins keep the first chain they saw), so it never affects termination or
+// the verdict - only the report text.
+struct ProvNode;
+using Prov = std::shared_ptr<const ProvNode>;
+struct ProvNode {
+  Addr pc = 0;
+  std::string note;  ///< non-empty for roots ("load[round_keys]", "initial r3")
+  Prov parent;
+};
+
+Prov root(Addr pc, std::string note) {
+  return std::make_shared<ProvNode>(ProvNode{pc, std::move(note), nullptr});
+}
+Prov via(Addr pc, Prov parent) {
+  return std::make_shared<ProvNode>(ProvNode{pc, {}, std::move(parent)});
+}
+
+std::string hex(Addr a) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(a));
+  return buf;
+}
+
+std::string render(const Prov& prov) {
+  std::string out;
+  int depth = 0;
+  for (const ProvNode* node = prov.get(); node != nullptr;
+       node = node->parent.get()) {
+    if (!out.empty()) out += " <- ";
+    if (++depth > 12) {
+      out += "...";
+      break;
+    }
+    if (node->note.empty()) {
+      out += hex(node->pc);
+    } else {
+      out += node->note;
+      if (node->pc != 0) out += " @" + hex(node->pc);
+    }
+  }
+  return out;
+}
+
+// --- the abstract domain -----------------------------------------------------
+
+/// Per-register value: taint bit x flat constant lattice.  Secret values are
+/// never constant (secrets are unknowable), so secret implies !known.
+struct AbsVal {
+  bool secret = false;
+  bool known = true;
+  std::uint32_t value = 0;
+  Prov prov;  ///< non-null iff secret
+
+  static AbsVal constant(std::uint32_t v) { return {false, true, v, nullptr}; }
+  static AbsVal secret_val(Prov p) { return {true, false, 0, std::move(p)}; }
+  static AbsVal unknown() { return {false, false, 0, nullptr}; }
+};
+
+/// Join into `dst`; true when a lattice component changed (provenance
+/// updates alone do not count).
+bool join(AbsVal& dst, const AbsVal& src) {
+  bool changed = false;
+  if (src.secret && !dst.secret) {
+    dst.secret = true;
+    dst.prov = src.prov;
+    changed = true;
+  }
+  if (dst.known && (!src.known || src.value != dst.value)) {
+    dst.known = false;
+    changed = true;
+  }
+  return changed;
+}
+
+/// Abstract memory: declared regions are permanently secret (checked via
+/// the spec), `secret_words` accumulates word-aligned addresses written
+/// with secrets, `any_secret` covers secret stores to unknown addresses.
+struct MemState {
+  std::set<Addr> secret_words;
+  std::map<Addr, Prov> word_prov;
+  bool any_secret = false;
+  Prov any_prov;
+};
+
+bool join_mem(MemState& dst, const MemState& src) {
+  bool changed = false;
+  for (const Addr w : src.secret_words) {
+    if (dst.secret_words.insert(w).second) {
+      changed = true;
+      const auto it = src.word_prov.find(w);
+      if (it != src.word_prov.end()) dst.word_prov.emplace(w, it->second);
+    }
+  }
+  if (src.any_secret && !dst.any_secret) {
+    dst.any_secret = true;
+    dst.any_prov = src.any_prov;
+    changed = true;
+  }
+  return changed;
+}
+
+struct State {
+  std::array<AbsVal, 16> regs;
+  MemState mem;
+};
+
+bool join_state(State& dst, const State& src) {
+  bool changed = false;
+  for (std::size_t r = 0; r < 16; ++r) changed |= join(dst.regs[r], src.regs[r]);
+  changed |= join_mem(dst.mem, src.mem);
+  return changed;
+}
+
+// --- the transfer function ---------------------------------------------------
+
+using LeakMap = std::map<std::pair<Addr, int>, Prov>;
+
+class Analyzer {
+ public:
+  Analyzer(const Cfg& cfg, const SecretSpec& spec) : cfg_(cfg), spec_(spec) {}
+
+  /// Execute `block` abstractly from `in`, returning the out-state.  When
+  /// `leaks` is non-null, record every channel violation encountered.
+  State transfer(const Block& block, State in, LeakMap* leaks) const {
+    Addr pc = block.pc;
+    for (const Instr& instr : block.instrs) {
+      step(instr, pc, in, leaks);
+      pc += 4;
+    }
+    return in;
+  }
+
+ private:
+  void leak_at(LeakMap* leaks, LeakKind kind, Addr pc, const Prov& prov) const {
+    if (leaks == nullptr) return;
+    leaks->emplace(std::make_pair(pc, static_cast<int>(kind)), prov);
+  }
+
+  [[nodiscard]] bool bytes_in_region(Addr begin, Addr size) const {
+    for (const SecretRegion& r : spec_.regions) {
+      if (begin < r.end && begin + size > r.begin) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const std::string* region_label(Addr begin, Addr size) const {
+    for (const SecretRegion& r : spec_.regions) {
+      if (begin < r.end && begin + size > r.begin) return &r.label;
+    }
+    return nullptr;
+  }
+
+  static void set_reg(State& st, std::uint8_t rd, AbsVal v) {
+    if (rd != 0) st.regs[rd] = std::move(v);  // r0 stays public zero
+  }
+
+  void step(const Instr& in, Addr pc, State& st, LeakMap* leaks) const {
+    const AbsVal& s1 = st.regs[in.rs1];
+    const AbsVal& s2 = st.regs[in.rs2];
+    const auto imm = static_cast<std::uint32_t>(in.imm);
+
+    const auto alu2 = [&](std::uint32_t v) {
+      AbsVal res;
+      res.secret = s1.secret || s2.secret;
+      res.known = !res.secret && s1.known && s2.known;
+      res.value = res.known ? v : 0;
+      if (res.secret) res.prov = via(pc, s1.secret ? s1.prov : s2.prov);
+      set_reg(st, in.rd, std::move(res));
+    };
+    const auto alu1 = [&](std::uint32_t v) {
+      AbsVal res;
+      res.secret = s1.secret;
+      res.known = !res.secret && s1.known;
+      res.value = res.known ? v : 0;
+      if (res.secret) res.prov = via(pc, s1.prov);
+      set_reg(st, in.rd, std::move(res));
+    };
+    const std::uint32_t a = s1.value;  // meaningful only when s1.known
+    const std::uint32_t b = s2.value;
+
+    switch (in.op) {
+      case Op::kAdd: alu2(a + b); break;
+      case Op::kSub: alu2(a - b); break;
+      case Op::kAnd: alu2(a & b); break;
+      case Op::kOr: alu2(a | b); break;
+      case Op::kXor: alu2(a ^ b); break;
+      case Op::kSll: alu2(a << (b & 31)); break;
+      case Op::kSrl: alu2(a >> (b & 31)); break;
+      case Op::kSra:
+        alu2(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                        (b & 31)));
+        break;
+      case Op::kSlt:
+        alu2(static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1
+                                                                         : 0);
+        break;
+      case Op::kSltu: alu2(a < b ? 1 : 0); break;
+      case Op::kMul: alu2(a * b); break;
+
+      case Op::kAddi: alu1(a + imm); break;
+      case Op::kAndi: alu1(a & imm); break;
+      case Op::kOri: alu1(a | imm); break;
+      case Op::kXori: alu1(a ^ imm); break;
+      case Op::kSlli: alu1(a << (imm & 31)); break;
+      case Op::kSrli: alu1(a >> (imm & 31)); break;
+      case Op::kSlti:
+        alu1(static_cast<std::int32_t>(a) < in.imm ? 1 : 0);
+        break;
+      case Op::kLui:
+        set_reg(st, in.rd, AbsVal::constant(imm << 16));  // reads nothing
+        break;
+
+      case Op::kLw:
+      case Op::kLb:
+      case Op::kLbu: {
+        const Addr size = in.op == Op::kLw ? 4 : 1;
+        if (s1.secret) {
+          leak_at(leaks, LeakKind::kMemoryAddress, pc, via(pc, s1.prov));
+        }
+        AbsVal res = AbsVal::unknown();
+        if (s1.known) {
+          const auto ea = static_cast<Addr>(a + imm);  // wraps like the ISA
+          if (const std::string* label = region_label(ea, size)) {
+            res = AbsVal::secret_val(root(pc, "load[" + *label + "]"));
+          } else if (st.mem.any_secret) {
+            res = AbsVal::secret_val(via(pc, st.mem.any_prov));
+          } else {
+            for (Addr w = ea & ~Addr{3}; w <= ((ea + size - 1) & ~Addr{3});
+                 w += 4) {
+              if (st.mem.secret_words.count(w) != 0) {
+                const auto it = st.mem.word_prov.find(w);
+                res = AbsVal::secret_val(
+                    via(pc, it != st.mem.word_prov.end() ? it->second
+                                                         : nullptr));
+                break;
+              }
+            }
+          }
+        } else {
+          // Unknown address: the load may hit anything secret in memory.
+          if (!spec_.regions.empty()) {
+            res = AbsVal::secret_val(root(pc, "load[any-secret-region]"));
+          } else if (st.mem.any_secret) {
+            res = AbsVal::secret_val(via(pc, st.mem.any_prov));
+          } else if (!st.mem.secret_words.empty()) {
+            res = AbsVal::secret_val(
+                via(pc, st.mem.word_prov.begin()->second));
+          }
+        }
+        if (s1.secret && !res.secret) {
+          res = AbsVal::secret_val(via(pc, s1.prov));  // address taints value
+        }
+        set_reg(st, in.rd, std::move(res));
+        break;
+      }
+
+      case Op::kSw:
+      case Op::kSb: {
+        const Addr size = in.op == Op::kSw ? 4 : 1;
+        if (s1.secret) {
+          leak_at(leaks, LeakKind::kMemoryAddress, pc, via(pc, s1.prov));
+        }
+        const AbsVal& value = st.regs[in.rd];  // stores read the rd register
+        if (value.secret) {
+          if (s1.known) {
+            const auto ea = static_cast<Addr>(a + imm);
+            for (Addr w = ea & ~Addr{3}; w <= ((ea + size - 1) & ~Addr{3});
+                 w += 4) {
+              if (st.mem.secret_words.insert(w).second) {
+                st.mem.word_prov.emplace(w, via(pc, value.prov));
+              }
+            }
+          } else if (!st.mem.any_secret) {
+            st.mem.any_secret = true;
+            st.mem.any_prov = via(pc, value.prov);
+          }
+        }
+        break;
+      }
+
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu:
+        if (s1.secret || s2.secret) {
+          leak_at(leaks, LeakKind::kBranchCondition, pc,
+                  via(pc, s1.secret ? s1.prov : s2.prov));
+        }
+        break;
+
+      case Op::kJal:
+        set_reg(st, in.rd, AbsVal::constant(static_cast<std::uint32_t>(pc + 4)));
+        break;
+      case Op::kJalr:
+        if (s1.secret) {
+          // A secret jump target drives instruction fetch: same channel as
+          // a secret branch condition.
+          leak_at(leaks, LeakKind::kBranchCondition, pc, via(pc, s1.prov));
+        }
+        set_reg(st, in.rd, AbsVal::constant(static_cast<std::uint32_t>(pc + 4)));
+        break;
+
+      case Op::kFlush:
+        if (s1.secret) {
+          leak_at(leaks, LeakKind::kFlushOperand, pc, via(pc, s1.prov));
+        }
+        break;
+
+      case Op::kHalt:
+      case Op::kNop:
+        break;
+    }
+  }
+
+  const Cfg& cfg_;
+  const SecretSpec& spec_;
+};
+
+}  // namespace
+
+const char* to_string(LeakKind kind) {
+  switch (kind) {
+    case LeakKind::kMemoryAddress: return "memory_address";
+    case LeakKind::kBranchCondition: return "branch_condition";
+    case LeakKind::kFlushOperand: return "flush_operand";
+  }
+  return "?";
+}
+
+TaintReport analyze_taint(const isa::Program& program, Addr entry,
+                          const SecretSpec& spec) {
+  const Cfg cfg = build_cfg(program, entry);
+  TaintReport report;
+  report.may_leave_image = cfg.may_leave_image;
+  report.has_indirect_jump = cfg.has_indirect_jump;
+  report.block_count = cfg.blocks.size();
+  if (cfg.blocks.empty()) return report;
+
+  const Analyzer analyzer(cfg, spec);
+
+  // Entry state: registers zeroed (Interpreter::reset semantics) except the
+  // declared secret registers, which are tainted and unknown.
+  State entry_state;
+  for (std::size_t r = 1; r < 16; ++r) {
+    if ((spec.secret_regs >> r) & 1u) {
+      entry_state.regs[r] =
+          AbsVal::secret_val(root(0, "initial r" + std::to_string(r)));
+    }
+  }
+
+  std::vector<State> states(cfg.blocks.size());
+  std::vector<bool> reached(cfg.blocks.size(), false);
+  states[cfg.entry_block] = entry_state;
+  reached[cfg.entry_block] = true;
+
+  // Round-robin fixpoint: sweep blocks in index (= address) order until no
+  // entry state changes.  Deterministic by construction.
+  constexpr std::uint64_t kMaxSweeps = 4096;
+  bool changed = true;
+  while (changed && report.fixpoint_sweeps < kMaxSweeps) {
+    changed = false;
+    ++report.fixpoint_sweeps;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!reached[b]) continue;
+      State out = analyzer.transfer(cfg.blocks[b], states[b], nullptr);
+      for (const std::size_t s : cfg.blocks[b].succs) {
+        if (!reached[s]) {
+          reached[s] = true;
+          states[s] = out;
+          changed = true;
+        } else {
+          changed |= join_state(states[s], out);
+        }
+      }
+    }
+  }
+  if (changed) {
+    // Never expected: the lattice is finite.  Fail closed.
+    report.converged = false;
+    report.constant_time = false;
+    return report;
+  }
+
+  // Reporting pass over the converged states, in block order.
+  LeakMap leaks;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (!reached[b]) continue;
+    (void)analyzer.transfer(cfg.blocks[b], states[b], &leaks);
+  }
+  for (const auto& [key, prov] : leaks) {
+    report.leaks.push_back(Leak{static_cast<LeakKind>(key.second), key.first,
+                                render(prov)});
+  }
+  report.constant_time = report.leaks.empty();
+  return report;
+}
+
+}  // namespace tsc::analysis

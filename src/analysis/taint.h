@@ -1,0 +1,93 @@
+// Static constant-time verification of TSISA programs.
+//
+// The attack experiments measure leakage dynamically; this analyzer states
+// the *definition* they measure against and decides it statically: a program
+// is constant-time (with respect to a declared set of secrets) when no
+// secret-tainted value can reach
+//
+//   1. a load/store effective address   - the paper's cache data channel,
+//   2. a branch/jalr condition or target - the instruction-fetch channel,
+//   3. a `flush` operand                - the flush channel (PR 8).
+//
+// The analysis is a forward dataflow fixpoint over the CFG (analysis/cfg.h)
+// on a product lattice per register: a public/secret taint bit joined with
+// a flat constant lattice (known value / unknown).  Constant propagation
+// exactly mirrors the interpreter's arithmetic, so `la`-materialized data
+// addresses resolve and loads/stores to known addresses can be checked
+// against the declared secret regions precisely.  Memory is abstracted as
+//
+//   * the declared secret regions (always tainted - weak updates never
+//     clear them),
+//   * a set of additionally-tainted words (secret stores to known
+//     addresses; grows monotonically),
+//   * an "any address may hold a secret" flag (secret store to an unknown
+//     address).
+//
+// Everything over-approximates: joins only lose constness and gain taint,
+// loads from unknown addresses are secret whenever anything in memory is,
+// and a reachable `jalr` widens control flow to every in-image instruction.
+// The soundness contract - every dynamically observed tainted access is
+// statically predicted - is checked differentially against the reference
+// interpreter's taint oracle (analysis/dyntaint.h) by a random-program
+// property test.
+//
+// Assumptions (each mirrored by an oracle flag the tests filter on):
+// execution stays inside the program image, the program does not modify its
+// own code, and non-secret registers start zeroed (Interpreter::reset
+// semantics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/types.h"
+#include "isa/assembler.h"
+
+namespace tsc::analysis {
+
+/// One byte range holding secrets (e.g. the AES key schedule).
+struct SecretRegion {
+  Addr begin = 0;
+  Addr end = 0;  ///< exclusive
+  std::string label;
+};
+
+/// What is secret when execution starts.
+struct SecretSpec {
+  std::vector<SecretRegion> regions;
+  std::uint16_t secret_regs = 0;  ///< bitmask: registers tainted at entry
+};
+
+/// The three leakage channels a violation can use.
+enum class LeakKind { kMemoryAddress, kBranchCondition, kFlushOperand };
+[[nodiscard]] const char* to_string(LeakKind kind);
+
+/// One statically detected violation: instruction `pc` feeds a secret into
+/// channel `kind`.  `provenance` renders the taint's source chain (most
+/// recent first) back to a secret region load or an initially-secret
+/// register.
+struct Leak {
+  LeakKind kind = LeakKind::kMemoryAddress;
+  Addr pc = 0;
+  std::string provenance;
+};
+
+/// Analysis verdict for one program.
+struct TaintReport {
+  bool constant_time = true;       ///< no leaks found
+  std::vector<Leak> leaks;         ///< sorted by (pc, kind), deduplicated
+  bool may_leave_image = false;    ///< caveat: a path can exit the image
+  bool has_indirect_jump = false;  ///< caveat: jalr widened the CFG
+  bool converged = true;           ///< fixpoint reached (always, in practice)
+  std::uint64_t fixpoint_sweeps = 0;
+  std::size_t block_count = 0;
+};
+
+/// Analyze `program` from `entry` under `spec`.  Pure function of its
+/// arguments; deterministic leak ordering.
+[[nodiscard]] TaintReport analyze_taint(const isa::Program& program,
+                                        Addr entry, const SecretSpec& spec);
+
+}  // namespace tsc::analysis

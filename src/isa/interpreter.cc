@@ -147,6 +147,20 @@ RunResult Interpreter::run_loop(Addr entry, std::uint64_t max_steps) {
     Addr next_pc = pc + 4;
     bool done = false;
 
+    if constexpr (!kUseDecodeCache) {
+      // Reference-path observation hook (dynamic taint oracle).  The fast
+      // path compiles this out entirely, so golden campaigns are untouched.
+      if (trace_sink_ != nullptr) [[unlikely]] {
+        Addr ea = 0;
+        if (is_memory(in.op)) {
+          ea = a + imm;
+        } else if (in.op == Op::kFlush || in.op == Op::kJalr) {
+          ea = a;
+        }
+        trace_sink_->step(pc, in, ea);
+      }
+    }
+
     switch (in.op) {
       case Op::kAdd: machine_.instr(pc); set_reg(in.rd, a + b); break;
       case Op::kSub: machine_.instr(pc); set_reg(in.rd, a - b); break;

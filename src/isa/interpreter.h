@@ -105,6 +105,19 @@ class SparseMemory {
   mutable std::array<Slot, kSlots> slots_{};
 };
 
+/// Observation hook for the reference execution path.  run_reference()
+/// invokes step() once per executed instruction, BEFORE its side effects;
+/// `ea` is the effective address for loads/stores (rs1 + imm) and the rs1
+/// value for flush and jalr, 0 otherwise.  The pre-decoded fast path
+/// (run()) never consults the sink - the hook is compiled out of it - so
+/// attaching an observer cannot perturb the golden-pinned campaigns.  Used
+/// by the dynamic taint oracle (analysis/dyntaint.h).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void step(Addr pc, const Instr& in, Addr ea) = 0;
+};
+
 /// Why execution stopped.
 enum class StopReason { kHalt, kStepLimit, kBadInstruction };
 
@@ -155,6 +168,10 @@ class Interpreter {
   [[nodiscard]] SparseMemory& memory() { return memory_; }
   [[nodiscard]] sim::Machine& machine() { return machine_; }
 
+  /// Attach (or detach, with nullptr) the reference-path observer.  Only
+  /// run_reference() consults it; reset() leaves it in place.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
  private:
   /// A pre-decoded instruction; `ok` is false for undecodable words (the
   /// fast path reports kBadInstruction exactly like the reference decode).
@@ -199,6 +216,7 @@ class Interpreter {
 
   sim::Machine& machine_;
   SparseMemory memory_;
+  TraceSink* trace_sink_ = nullptr;
   std::array<std::uint32_t, 16> regs_{};
   Addr code_base_ = 0;
   Addr code_span_ = 0;  ///< bytes covered by the decode cache

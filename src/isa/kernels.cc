@@ -177,6 +177,47 @@ done:   halt
                 static_cast<unsigned long long>(data), lines, line_bytes);
 }
 
+std::string ttable_lookup_source(Addr key, Addr table, unsigned n) {
+  return format(R"(
+        la   r1, 0x%llx        ; secret key bytes
+        la   r2, 0x%llx        ; public T-table (256 words)
+        li   r3, %u            ; byte count
+        addi r4, r0, 0         ; i
+        addi r5, r0, 0         ; acc
+loop:   bge  r4, r3, done
+        add  r6, r1, r4
+        lbu  r7, 0(r6)         ; secret key byte (public address)
+        slli r7, r7, 2
+        add  r7, r7, r2
+        lw   r8, 0(r7)         ; table entry at a SECRET-dependent address
+        add  r5, r5, r8
+        addi r4, r4, 1
+        jal  r0, loop
+done:   halt
+)",
+                static_cast<unsigned long long>(key),
+                static_cast<unsigned long long>(table), n);
+}
+
+std::string secret_branch_source(Addr key, unsigned n) {
+  return format(R"(
+        la   r1, 0x%llx        ; secret key bytes
+        li   r2, %u            ; byte count
+        addi r3, r0, 0         ; i
+        addi r4, r0, 0         ; zero-byte count
+loop:   bge  r3, r2, done
+        add  r5, r1, r3
+        lbu  r6, 0(r5)         ; secret key byte (public address)
+        beq  r6, r0, skip      ; SECRET-dependent branch condition
+        jal  r0, next
+skip:   addi r4, r4, 1
+next:   addi r3, r3, 1
+        jal  r0, loop
+done:   halt
+)",
+                static_cast<unsigned long long>(key), n);
+}
+
 std::string flush_storm_source(Addr data, unsigned lines, unsigned line_bytes,
                                unsigned rounds) {
   return format(R"(

@@ -40,6 +40,23 @@ namespace tsc::isa {
 [[nodiscard]] std::string flush_reload_source(Addr data, unsigned lines,
                                               unsigned line_bytes);
 
+/// Leaky by construction (the static analyzer's positive control): loads
+/// `n` secret key bytes from `key` and uses each as an index into the
+/// 256-entry word table at `table` - the AES first-round T-table pattern.
+/// The table load address depends on the secret byte, so a constant-time
+/// audit must flag exactly that `lw` (violation class: secret-dependent
+/// memory address).  NOT part of the pWCET kernel_suite: adding it there
+/// would change the matrix cell family and every committed golden.
+[[nodiscard]] std::string ttable_lookup_source(Addr key, Addr table,
+                                               unsigned n);
+
+/// Leaky by construction: branches on each of the `n` secret key bytes at
+/// `key` (counting the zero bytes), so the `beq` condition is
+/// secret-dependent - the instruction-fetch channel.  A constant-time
+/// audit must flag exactly that branch.  NOT part of the pWCET
+/// kernel_suite (same golden-stability reason as above).
+[[nodiscard]] std::string secret_branch_source(Addr key, unsigned n);
+
 /// Flush storm: `rounds` passes over `lines` lines at `data`, each pass
 /// touching a line (load), flushing it, then flushing it AGAIN - so every
 /// round exercises both the present-flush and the absent-flush latency

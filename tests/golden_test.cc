@@ -30,6 +30,8 @@
 //       > tests/golden/pwcet_matrix_s240_ss80.json
 //   tsc_run --experiment flush_matrix --samples 600 --shard-size 200 --json
 //       > tests/golden/flush_matrix_s600_ss200.json
+//   tsc_run --experiment ct_audit --samples 1 --shard-size 1 --json
+//       > tests/golden/ct_audit.json
 // (each command on one line) and say so loudly in the commit message - this
 // file is the contract that performance work does not move simulation
 // results.
@@ -147,6 +149,32 @@ TEST(GoldenFlushMatrix, WorkerCountDoesNotChangeOutput) {
   EXPECT_EQ(run_experiment_json("flush_matrix", 600, 200, /*workers=*/5),
             expected)
       << "flush_matrix output must be worker-count invariant";
+}
+
+TEST(GoldenCtAudit, MatchesCommittedFixtureAndCertifiesTheKernels) {
+  // The constant-time audit is a pure function of the kernel sources and
+  // the secret spec - samples, seed and workers play no role - so any
+  // worker count must reproduce the fixture bytes.
+  const std::string expected = read_fixture("tests/golden/ct_audit.json");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(run_experiment_json("ct_audit", 1, 1, /*workers=*/2), expected)
+      << "ct_audit diverged from the committed fixture";
+  EXPECT_EQ(run_experiment_json("ct_audit", 1, 1, /*workers=*/5), expected)
+      << "ct_audit output must be worker-count invariant";
+  // The fixture itself must certify the audit's three claims: the
+  // leaky-by-construction kernels are flagged, the clean kernels are
+  // certified, and the dynamic oracle never saw a violation the static
+  // analyzer missed.
+  for (const char* claim : {"\"leaky_kernels_flagged\":true",
+                            "\"clean_kernels_certified\":true",
+                            "\"static_covers_dynamic\":true"}) {
+    EXPECT_NE(expected.find(claim), std::string::npos)
+        << "fixture lost claim " << claim;
+  }
+  // The exact violating instructions are part of the contract: the
+  // T-table kernel's secret-indexed lw and the secret-branch kernel's beq.
+  EXPECT_NE(expected.find("\"kind\":\"memory_address\""), std::string::npos);
+  EXPECT_NE(expected.find("\"kind\":\"branch_condition\""), std::string::npos);
 }
 
 TEST(GoldenPwcetMatrix, MatchesFixtureAndAssertsThePapersClaim) {

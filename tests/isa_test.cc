@@ -129,6 +129,80 @@ TEST(Assembler, ErrorsCarryLineNumbers) {
   }
 }
 
+/// Assemble `source` expecting failure, and pin the exact diagnostic: the
+/// messages are part of the assembler's contract (tooling and humans parse
+/// them), so wording changes must be deliberate.
+void expect_asm_error(const std::string& source,
+                      const std::string& expected) {
+  try {
+    (void)assemble(source, 0x1000);
+    FAIL() << "expected AssemblyError for: " << source;
+  } catch (const AssemblyError& e) {
+    EXPECT_EQ(std::string(e.what()), expected) << "for: " << source;
+  }
+}
+
+TEST(AssemblerErrors, UnknownMnemonicNamesTheOffender) {
+  expect_asm_error("frobnicate r1, r2\n",
+                   "line 1: unknown mnemonic 'frobnicate'");
+}
+
+TEST(AssemblerErrors, OperandCountMismatchSaysExpectedAndGot) {
+  expect_asm_error("addi r1, r0\n", "line 1: 'addi' expects 3 operands, got 2");
+  expect_asm_error("add r1, r2, r3, r4\n",
+                   "line 1: 'add' expects 3 operands, got 4");
+  expect_asm_error("jalr r0\n", "line 1: 'jalr' expects 2 operands, got 1");
+  expect_asm_error("flush\n", "line 1: 'flush' expects 1 operands, got 0");
+}
+
+TEST(AssemblerErrors, RegistersAboveFifteenAreRejected) {
+  expect_asm_error("addi r16, r0, 1\n", "line 1: expected register, got 'r16'");
+  expect_asm_error("addi r99, r0, 1\n", "line 1: expected register, got 'r99'");
+  expect_asm_error("add r1, x2, r3\n", "line 1: expected register, got 'x2'");
+}
+
+TEST(AssemblerErrors, ImmediatesBeyondSixteenBitsAreRejected) {
+  expect_asm_error("addi r1, r0, 100000\n",
+                   "line 1: immediate 100000 does not fit 16 bits (use li)");
+  expect_asm_error("addi r1, r0, -32769\n",
+                   "line 1: immediate -32769 does not fit 16 bits (use li)");
+  // The boundary values assemble: [-32768, 65535] is the accepted window
+  // (negative = sign-extended arithmetic form, large = raw logical form).
+  EXPECT_EQ(assemble("addi r1, r0, -32768\n", 0).words.size(), 1u);
+  EXPECT_EQ(assemble("ori r1, r0, 65535\n", 0).words.size(), 1u);
+}
+
+TEST(AssemblerErrors, BranchAndJumpTargetsOutOfRangeAreRejected) {
+  // Numeric targets are raw word offsets; +-2^13 words for branches,
+  // +-2^21 for jal.
+  expect_asm_error("beq r0, r0, 8192\n", "line 1: branch target out of range");
+  expect_asm_error("beq r0, r0, -8193\n", "line 1: branch target out of range");
+  expect_asm_error("jal r0, 2097152\n", "line 1: branch target out of range");
+  EXPECT_EQ(assemble("beq r0, r0, 8191\n", 0).words.size(), 1u);
+}
+
+TEST(AssemblerErrors, MalformedMemoryOperandsPinpointTheToken) {
+  expect_asm_error("lw r1, 4 r2\n", "line 1: expected offset(base), got '4 r2'");
+  expect_asm_error("lw r1, zz(r2)\n", "line 1: bad memory offset in 'zz(r2)'");
+  expect_asm_error("lw r1, 0(x2)\n", "line 1: bad base register in '0(x2)'");
+  expect_asm_error("lw r1, 40000(r2)\n", "line 1: memory offset out of range");
+  expect_asm_error("sw r1, nowhere\n",
+                   "line 1: expected offset(base), got 'nowhere'");
+}
+
+TEST(AssemblerErrors, SymbolAndLabelProblemsAreNamed) {
+  expect_asm_error("beq r0, r0, nowhere\n", "line 1: unknown symbol 'nowhere'");
+  expect_asm_error("x: halt\nx: halt\n", "line 2: duplicate label 'x'");
+  expect_asm_error(": halt\n", "line 1: malformed label");
+}
+
+TEST(AssemblerErrors, DirectiveAndPseudoOpArityAreChecked) {
+  expect_asm_error(".space -4\n", "line 1: .space needs a byte count");
+  expect_asm_error(".space xyz\n", "line 1: .space needs a byte count");
+  expect_asm_error("la r1\n", "line 1: 'la/li' expects rd, value");
+  expect_asm_error("li r1, 1, 2\n", "line 1: 'la/li' expects rd, value");
+}
+
 // --- interpreter -----------------------------------------------------------------
 
 TEST(InterpreterTest, ArithmeticAndRegisters) {
