@@ -1,7 +1,12 @@
 #include "runner/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <fstream>
 #include <sstream>
@@ -29,23 +34,58 @@ std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
 }
 
 void atomic_write_file(const std::string& path, std::string_view contents) {
+  // Durability, not just atomicity: stream buffers flushed to the kernel is
+  // NOT enough - a power loss after rename(2) could still surface an empty
+  // or torn file if the temp file's data never reached the disk.  So:
+  // write, fsync the temp FILE, rename, fsync the DIRECTORY (the rename is
+  // a directory mutation), and fail loudly at every step.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      throw CheckpointError("cannot open '" + tmp + "' for writing");
+  const auto fail = [&](const std::string& what) {
+    const int err = errno;
+    (void)::unlink(tmp.c_str());
+    throw CheckpointError(what + " ('" + tmp + "'): " +
+                          (err != 0 ? std::strerror(err) : "unknown error"));
+  };
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open temp file for writing");
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      (void)::close(fd);
+      fail("short write to temp file");
     }
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out.good()) {
-      throw CheckpointError("short write to '" + tmp + "'");
-    }
+    written += static_cast<std::size_t>(n);
   }
+  if (::fsync(fd) != 0) {
+    (void)::close(fd);
+    fail("fsync of temp file failed");
+  }
+  if (::close(fd) != 0) fail("close of temp file failed");
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw CheckpointError("cannot rename '" + tmp + "' to '" + path + "'");
+    fail("cannot rename temp file to '" + path + "'");
   }
+  // fsync the containing directory so the rename itself is durable.  A
+  // failure here is loud too: callers are entitled to assume the artifact
+  // survives power loss once this function returns.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    throw CheckpointError("cannot open directory '" + dir +
+                          "' for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(dfd) != 0) {
+    const int err = errno;
+    (void)::close(dfd);
+    throw CheckpointError("fsync of directory '" + dir +
+                          "' failed: " + std::strerror(err));
+  }
+  (void)::close(dfd);
 }
 
 // --- Checkpoint --------------------------------------------------------------
@@ -219,13 +259,37 @@ void FtSession::flush() {
   if (options_.checkpoint_path.empty()) return;
   checkpoint_.save(options_.checkpoint_path);
   unflushed_ = 0;
+  ++flush_count_;
+  last_flush_ = std::chrono::steady_clock::now();
+}
+
+void FtSession::note_completed(const std::string& stage, std::size_t count,
+                               std::size_t task,
+                               const std::vector<std::uint8_t>& payload,
+                               bool keep_record) {
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  if (checkpointing || keep_record) {
+    checkpoint_.put(stage, count, task, payload);
+  }
+  if (checkpointing) {
+    ++unflushed_;
+    const bool count_due = unflushed_ >= options_.checkpoint_every;
+    const bool time_due =
+        options_.checkpoint_interval_ms > 0 &&
+        std::chrono::steady_clock::now() - last_flush_ >=
+            std::chrono::milliseconds(options_.checkpoint_interval_ms);
+    if (count_due || time_due) flush();
+  }
+  ++completed_;
+  if (options_.stop_after > 0 && completed_ >= options_.stop_after) {
+    request_interrupt();  // the TSC_STOP_AFTER "kill" seam
+  }
 }
 
 std::vector<std::optional<std::vector<std::uint8_t>>> FtSession::run_stage(
     const std::string& stage, ThreadPool& pool, std::size_t count,
     const std::function<std::vector<std::uint8_t>(std::size_t)>&
         run_encoded) {
-  const bool checkpointing = !options_.checkpoint_path.empty();
   std::vector<std::optional<std::vector<std::uint8_t>>> payloads(count);
 
   // Shards already completed by a previous (interrupted) run.
@@ -316,15 +380,8 @@ std::vector<std::optional<std::vector<std::uint8_t>>> FtSession::run_stage(
             attempt_failed(task, attempt, "payload checksum mismatch");
             continue;
           }
-          if (checkpointing) {
-            checkpoint_.put(stage, count, task, payload);
-            if (++unflushed_ >= options_.checkpoint_every) flush();
-          }
+          note_completed(stage, count, task, payload, /*keep_record=*/false);
           payloads[task] = std::move(payload);
-          ++completed_;
-          if (options_.stop_after > 0 && completed_ >= options_.stop_after) {
-            request_interrupt();  // the TSC_STOP_AFTER "kill" seam
-          }
         } catch (const std::exception& e) {
           attempt_failed(task, attempt, e.what());
         }
@@ -365,7 +422,7 @@ std::vector<std::optional<std::vector<std::uint8_t>>> FtSession::run_stage(
   }
   if (interrupt_requested()) {
     throw Interrupted(
-        checkpointing
+        !options_.checkpoint_path.empty()
             ? "campaign interrupted; checkpoint flushed, rerun with --resume"
             : "campaign interrupted (no --checkpoint: progress discarded)");
   }

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <bit>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -150,10 +151,12 @@ class ByteReader {
 /// FNV-1a 64-bit checksum - the per-record integrity check.
 [[nodiscard]] std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
 
-/// Write `contents` to `path` atomically: temp file in the same directory,
-/// then rename over the target.  A crash mid-write never leaves a torn
-/// file.  Used for checkpoints and for tsc_run --output JSON artifacts.
-/// Throws CheckpointError on I/O failure.
+/// Write `contents` to `path` atomically AND durably: temp file in the same
+/// directory, fsync the temp file, rename over the target, then fsync the
+/// directory so the rename itself survives power loss.  A crash mid-write
+/// never leaves a torn file; a crash after return never loses the file.
+/// Used for checkpoints and for tsc_run --output JSON artifacts.  Throws
+/// CheckpointError (loudly, with errno detail) on any I/O failure.
 void atomic_write_file(const std::string& path, std::string_view contents);
 
 // --- checkpoint file ---------------------------------------------------------
@@ -217,18 +220,28 @@ struct FtOptions {
   std::string checkpoint_path;    ///< empty = no checkpointing
   bool resume = false;            ///< load checkpoint_path, skip done shards
   std::size_t checkpoint_every = 8;  ///< flush after this many completions
+  /// Time-based flush cadence: also flush when this many milliseconds have
+  /// passed since the last flush (checked at each completion, so slow cells
+  /// don't ride minutes of unflushed work on the count cadence).  0 = off.
+  std::uint64_t checkpoint_interval_ms = 0;
   int max_attempts = 3;           ///< per-shard attempt budget
   std::uint64_t watchdog_ms = 0;  ///< abandon+re-queue deadline; 0 = off
   bool allow_partial = false;     ///< record exhausted shards, don't fail
   std::size_t stop_after = 0;     ///< test seam: interrupt after N
                                   ///< session-wide completions (0 = off)
   FaultSpec fault;                ///< injected fault (kind == kNone: none)
+  BackoffSpec backoff;            ///< retry backoff (dispatch mode)
+  /// Set by --dispatch / --dispatch-worker: the session is a multi-process
+  /// dispatch participant, so experiments must route through it even when
+  /// no other fault-tolerance flag is present.
+  bool dispatch = false;
 
   /// Whether any fault-tolerance machinery is requested.  False keeps
   /// experiments on the plain parallel_map path - zero added cost.
   [[nodiscard]] bool enabled() const {
     return !checkpoint_path.empty() || resume || allow_partial ||
-           watchdog_ms > 0 || stop_after > 0 || fault.kind != FaultKind::kNone;
+           watchdog_ms > 0 || stop_after > 0 ||
+           fault.kind != FaultKind::kNone || dispatch;
   }
 };
 
@@ -250,6 +263,9 @@ class FtSession {
   /// mismatch throws CheckpointError).
   FtSession(FtOptions options, std::string experiment,
             std::string fingerprint);
+  virtual ~FtSession() = default;
+  FtSession(const FtSession&) = delete;
+  FtSession& operator=(const FtSession&) = delete;
 
   /// The byte-level engine: run tasks [0, count) of `stage`, skipping ones
   /// already in the checkpoint, with retry / watchdog / flush / interrupt
@@ -257,7 +273,9 @@ class FtSession {
   /// of the task index returning the task's encoded payload.  Missing
   /// entries in the returned vector are exhausted shards (allow_partial
   /// only).  Throws Interrupted or CampaignAborted after flushing.
-  [[nodiscard]] std::vector<std::optional<std::vector<std::uint8_t>>>
+  /// Virtual so the multi-process dispatcher (runner/dispatcher.h) can
+  /// substitute its supervisor/worker protocol behind the same call sites.
+  [[nodiscard]] virtual std::vector<std::optional<std::vector<std::uint8_t>>>
   run_stage(const std::string& stage, ThreadPool& pool, std::size_t count,
             const std::function<std::vector<std::uint8_t>(std::size_t)>&
                 run_encoded);
@@ -270,13 +288,25 @@ class FtSession {
   [[nodiscard]] std::size_t completed_tasks() const { return completed_; }
   /// Shard attempts that failed and were retried or abandoned (telemetry).
   [[nodiscard]] std::size_t failed_attempts() const { return failed_attempts_; }
+  /// Checkpoint flushes performed (telemetry; the time-based cadence test
+  /// observes mid-stage flushes through this).
+  [[nodiscard]] std::size_t flush_count() const { return flush_count_; }
 
   [[nodiscard]] const FtOptions& options() const { return options_; }
 
   /// Flush the checkpoint now (no-op without a checkpoint path).
   void flush();
 
- private:
+ protected:
+  /// Record a completed payload: store it in the in-memory checkpoint (when
+  /// a checkpoint path is configured, or unconditionally with `keep_record`
+  /// - the dispatch supervisor keeps every payload so a degraded fallback
+  /// or a respawned worker can replay completed work), apply the count- and
+  /// time-based flush cadences, and honor the stop_after test seam.
+  void note_completed(const std::string& stage, std::size_t count,
+                      std::size_t task, const std::vector<std::uint8_t>& payload,
+                      bool keep_record);
+
   FtOptions options_;
   FaultInjector injector_;
   Checkpoint checkpoint_;
@@ -284,6 +314,9 @@ class FtSession {
   std::size_t completed_ = 0;
   std::size_t failed_attempts_ = 0;
   std::size_t unflushed_ = 0;
+  std::size_t flush_count_ = 0;
+  std::chrono::steady_clock::time_point last_flush_ =
+      std::chrono::steady_clock::now();
 };
 
 /// Typed task codec: encode must write the EXACT state of R (its decode

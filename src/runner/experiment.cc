@@ -1,13 +1,20 @@
 #include "runner/experiment.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "runner/dispatcher.h"
 #include "runner/fault.h"
 
 namespace tsc::runner {
@@ -61,8 +68,27 @@ void print_usage(std::FILE* out) {
                "  --allow-partial     after retries are exhausted, emit the\n"
                "                      merged result with an incomplete_shards\n"
                "                      manifest (exit 4) instead of failing\n"
+               "  --checkpoint-interval-ms N  also flush the checkpoint when\n"
+               "                      N ms passed since the last flush (0 = off)\n"
                "  --inject-fault SPEC deterministic fault injection for tests:\n"
-               "                      shard=K,kind=throw|hang|corrupt[,times=N]\n"
+               "                      shard=K,kind=throw|hang|corrupt[,times=N];\n"
+               "                      kind=crash|wedge|kill need --dispatch (the\n"
+               "                      worker subprocess really dies or spins)\n"
+               "\n"
+               "multi-process dispatch (docs/fault_tolerance.md):\n"
+               "  --dispatch N        supervise N worker subprocesses leasing\n"
+               "                      shards over pipes; crashes and wedges are\n"
+               "                      retried after SIGKILL, and the merged JSON\n"
+               "                      stays byte-identical to a 1-process run\n"
+               "  --heartbeat-ms N    worker heartbeat cadence (default 250;\n"
+               "                      0 disables liveness monitoring)\n"
+               "  --backoff-ms N      retry backoff base (default 100; the\n"
+               "                      delay is a deterministic exponential\n"
+               "                      function of shard and attempt; 0 = off)\n"
+               "  --backoff-cap-ms N  retry backoff ceiling (default 5000)\n"
+               "  --dispatch-worker R,W  internal: run as a worker subprocess\n"
+               "                      over pipe fds R (read) and W (write)\n"
+               "  --worker-id K       internal: worker identity for logs\n"
                "\n"
                "exit codes: 0 ok; 1 experiment failed; 2 usage error;\n"
                "            4 partial result emitted; 75 interrupted,\n"
@@ -70,11 +96,32 @@ void print_usage(std::FILE* out) {
 }
 
 bool parse_u64(const char* s, std::uint64_t& out) {
+  // Strict: digits only.  strtoull silently wraps "-5" to a huge value,
+  // which would turn a typo into a near-infinite budget - reject any sign
+  // or leading whitespace instead.
+  if (s == nullptr || *s == '\0' ||
+      std::isdigit(static_cast<unsigned char>(*s)) == 0) {
+    return false;
+  }
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0') return false;
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
   out = v;
   return true;
+}
+
+/// Resolve the executable to spawn worker subprocesses from: the
+/// TSC_DISPATCH_EXE test override, else this very binary.
+std::string resolve_dispatch_exe(const char* argv0) {
+  if (const char* env = std::getenv("TSC_DISPATCH_EXE")) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 != nullptr ? argv0 : "";
 }
 
 }  // namespace
@@ -103,6 +150,20 @@ int experiment_main(const std::string& name, int argc, char** argv) {
   std::string experiment_name = name;
   std::string output_path;
   bool compact = false;
+  int dispatch_processes = 0;  // 0 = no supervisor mode
+  std::uint64_t heartbeat_ms = 250;
+  int worker_id = 0;
+  int worker_rfd = -1;
+  int worker_wfd = -1;
+  bool dispatch_worker = false;
+
+  // CLI contract: EVERY malformed or unknown flag exits 2 with the usage
+  // text on stderr (pinned by the CLI-contract tests).
+  const auto usage_error = [](const std::string& msg) {
+    std::fprintf(stderr, "tsc_run: %s\n", msg.c_str());
+    print_usage(stderr);
+    return static_cast<int>(kExitUsage);
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -129,11 +190,11 @@ int experiment_main(const std::string& name, int argc, char** argv) {
     } else if (arg == "--allow-partial") {
       options.ft.allow_partial = true;
     } else if (arg == "--experiment" || arg == "--checkpoint" ||
-               arg == "--output" || arg == "--inject-fault") {
+               arg == "--output" || arg == "--inject-fault" ||
+               arg == "--dispatch-worker") {
       const char* val = next();
       if (val == nullptr) {
-        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-        return kExitUsage;
+        return usage_error(arg + " needs a value");
       }
       if (arg == "--experiment") {
         experiment_name = val;
@@ -141,23 +202,39 @@ int experiment_main(const std::string& name, int argc, char** argv) {
         options.ft.checkpoint_path = val;
       } else if (arg == "--output") {
         output_path = val;
+      } else if (arg == "--dispatch-worker") {
+        // Internal: "R,W" pipe fds handed down by the supervisor.
+        const std::string pair = val;
+        const std::size_t comma = pair.find(',');
+        std::uint64_t r = 0;
+        std::uint64_t w = 0;
+        if (comma == std::string::npos ||
+            !parse_u64(pair.substr(0, comma).c_str(), r) ||
+            !parse_u64(pair.substr(comma + 1).c_str(), w)) {
+          return usage_error("--dispatch-worker needs R,W pipe fds");
+        }
+        worker_rfd = static_cast<int>(r);
+        worker_wfd = static_cast<int>(w);
+        dispatch_worker = true;
       } else {
         std::string error;
         const std::optional<FaultSpec> spec = parse_fault_spec(val, &error);
         if (!spec) {
-          std::fprintf(stderr, "--inject-fault: %s\n", error.c_str());
-          return kExitUsage;
+          return usage_error("--inject-fault: " + error);
         }
         options.ft.fault = *spec;
       }
     } else if (arg == "--samples" || arg == "--seed" || arg == "--shards" ||
                arg == "--shard-size" || arg == "--checkpoint-every" ||
-               arg == "--max-attempts" || arg == "--watchdog-ms") {
+               arg == "--max-attempts" || arg == "--watchdog-ms" ||
+               arg == "--checkpoint-interval-ms" || arg == "--dispatch" ||
+               arg == "--heartbeat-ms" || arg == "--backoff-ms" ||
+               arg == "--backoff-cap-ms" || arg == "--worker-id") {
       const char* val = next();
       if (val == nullptr || !parse_u64(val, v)) {
-        std::fprintf(stderr, "%s needs an unsigned integer value\n",
-                     arg.c_str());
-        return kExitUsage;
+        return usage_error(arg + " needs an unsigned integer value" +
+                           (val != nullptr ? ", got '" + std::string(val) + "'"
+                                           : ""));
       }
       if (arg == "--samples") {
         options.samples = static_cast<std::size_t>(v);
@@ -169,25 +246,44 @@ int experiment_main(const std::string& name, int argc, char** argv) {
         options.shard_size = static_cast<std::size_t>(v);
       } else if (arg == "--checkpoint-every") {
         options.ft.checkpoint_every = std::max<std::size_t>(1, v);
+      } else if (arg == "--checkpoint-interval-ms") {
+        options.ft.checkpoint_interval_ms = v;
       } else if (arg == "--max-attempts") {
         if (v == 0) {
-          std::fprintf(stderr, "--max-attempts must be at least 1\n");
-          return kExitUsage;
+          return usage_error("--max-attempts must be at least 1");
         }
         options.ft.max_attempts = static_cast<int>(v);
+      } else if (arg == "--dispatch") {
+        if (v == 0) {
+          return usage_error(
+              "--dispatch needs at least 1 worker process (omit the flag "
+              "for the in-process path)");
+        }
+        if (v > 256) {
+          return usage_error("--dispatch supports at most 256 workers");
+        }
+        dispatch_processes = static_cast<int>(v);
+      } else if (arg == "--heartbeat-ms") {
+        heartbeat_ms = v;
+      } else if (arg == "--backoff-ms") {
+        options.ft.backoff.base_ms = v;
+      } else if (arg == "--backoff-cap-ms") {
+        options.ft.backoff.cap_ms = v;
+      } else if (arg == "--worker-id") {
+        worker_id = static_cast<int>(v);
       } else {
         options.ft.watchdog_ms = v;
       }
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      print_usage(stderr);
-      return kExitUsage;
+      return usage_error("unknown option: " + arg);
     }
   }
 
   if (options.ft.resume && options.ft.checkpoint_path.empty()) {
-    std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
-    return kExitUsage;
+    return usage_error("--resume needs --checkpoint FILE");
+  }
+  if (dispatch_processes > 0 && dispatch_worker) {
+    return usage_error("--dispatch and --dispatch-worker are exclusive");
   }
 
   // Environment test seams (CI drives these where flags are awkward).
@@ -196,14 +292,22 @@ int experiment_main(const std::string& name, int argc, char** argv) {
     std::string error;
     const std::optional<FaultSpec> spec = parse_fault_spec(env, &error);
     if (!spec) {
-      std::fprintf(stderr, "TSC_INJECT_FAULT: %s\n", error.c_str());
-      return kExitUsage;
+      return usage_error(std::string("TSC_INJECT_FAULT: ") + error);
     }
     options.ft.fault = *spec;
   }
   if (const char* env = std::getenv("TSC_STOP_AFTER")) {
     std::uint64_t n = 0;
     if (parse_u64(env, n)) options.ft.stop_after = static_cast<std::size_t>(n);
+  }
+
+  // Process-fatal fault kinds really abort or spin: only a --dispatch
+  // worker subprocess can contain that, so the in-process paths refuse.
+  if (fault_kind_is_process_fatal(options.ft.fault.kind) &&
+      dispatch_processes == 0 && !dispatch_worker) {
+    return usage_error(std::string("--inject-fault kind=") +
+                       to_string(options.ft.fault.kind) +
+                       " is process-fatal and needs --dispatch N");
   }
 
   if (experiment_name.empty()) {
@@ -224,22 +328,70 @@ int experiment_main(const std::string& name, int argc, char** argv) {
   // handlers are installed only when interruption has somewhere to resume
   // from (otherwise SIGINT keeps its default kill semantics).
   clear_interrupt();
-  std::optional<FtSession> session;
-  if (options.ft.enabled()) {
-    if (!options.ft.checkpoint_path.empty()) install_interrupt_handlers();
-    try {
-      session.emplace(options.ft, experiment->name, ft_fingerprint(options));
-    } catch (const CheckpointError& e) {
-      std::fprintf(stderr, "[tsc_run] checkpoint error: %s\n", e.what());
-      return kExitFailure;
+  std::unique_ptr<FtSession> session;
+  try {
+    if (dispatch_worker) {
+      // Worker subprocess: a lease client.  The supervisor owns
+      // durability, interruption and the stop_after seam - a worker that
+      // honored the inherited TSC_STOP_AFTER would kill itself over and
+      // over after each respawn.  SIGINT is ignored: a terminal ^C reaches
+      // the whole process group, and the supervisor coordinates shutdown.
+      options.ft.dispatch = true;
+      options.ft.checkpoint_path.clear();
+      options.ft.resume = false;
+      options.ft.stop_after = 0;
+      (void)std::signal(SIGINT, SIG_IGN);
+      session = std::make_unique<DispatchWorkerSession>(
+          options.ft, experiment_name, ft_fingerprint(options), worker_rfd,
+          worker_wfd, worker_id, heartbeat_ms);
+    } else if (dispatch_processes > 0) {
+      options.ft.dispatch = true;
+      if (!options.ft.checkpoint_path.empty()) install_interrupt_handlers();
+      DispatchOptions dispatch;
+      dispatch.processes = dispatch_processes;
+      dispatch.heartbeat_ms = heartbeat_ms;
+      dispatch.exe = resolve_dispatch_exe(argc > 0 ? argv[0] : nullptr);
+      // Workers recompute the identical shard plan from the identical
+      // scale knobs; worker count and checkpointing stay supervisor-side.
+      dispatch.worker_args = {
+          "--experiment", experiment_name,
+          "--samples", std::to_string(options.samples),
+          "--seed", std::to_string(options.master_seed),
+          "--shard-size", std::to_string(options.shard_size),
+          "--shards", "1",
+          "--heartbeat-ms", std::to_string(heartbeat_ms)};
+      if (options.fast) dispatch.worker_args.emplace_back("--fast");
+      if (options.ft.fault.kind != FaultKind::kNone) {
+        dispatch.worker_args.emplace_back("--inject-fault");
+        dispatch.worker_args.push_back(to_spec_string(options.ft.fault));
+      }
+      session = std::make_unique<DispatchSupervisorSession>(
+          options.ft, experiment_name, ft_fingerprint(options),
+          std::move(dispatch));
+    } else if (options.ft.enabled()) {
+      if (!options.ft.checkpoint_path.empty()) install_interrupt_handlers();
+      session = std::make_unique<FtSession>(options.ft, experiment_name,
+                                            ft_fingerprint(options));
     }
-    options.ft_session = &*session;
+  } catch (const CheckpointError& e) {
+    std::fprintf(stderr, "[tsc_run] checkpoint error: %s\n", e.what());
+    return kExitFailure;
+  } catch (const DispatchError& e) {
+    std::fprintf(stderr, "[tsc_run] dispatch error: %s\n", e.what());
+    return kExitFailure;
+  } catch (const WorkerShutdown&) {
+    return kExitOk;  // the supervisor shut us down before we even started
   }
+  options.ft_session = session.get();
 
   const auto t0 = std::chrono::steady_clock::now();
   Json results;
   try {
     results = experiment->run(options);
+  } catch (const WorkerShutdown& e) {
+    // Orderly worker end: the supervisor is done with us (or gone).
+    std::fprintf(stderr, "[tsc_run] worker %d: %s\n", worker_id, e.what());
+    return kExitOk;
   } catch (const Interrupted& e) {
     std::fprintf(stderr, "[tsc_run] %s\n", e.what());
     return kExitInterrupted;
@@ -249,10 +401,18 @@ int experiment_main(const std::string& name, int argc, char** argv) {
   } catch (const CheckpointError& e) {
     std::fprintf(stderr, "[tsc_run] checkpoint error: %s\n", e.what());
     return kExitFailure;
+  } catch (const DispatchError& e) {
+    std::fprintf(stderr, "[tsc_run] dispatch error: %s\n", e.what());
+    return kExitFailure;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[tsc_run] experiment '%s' failed: %s\n",
                  experiment->name.c_str(), e.what());
     return kExitFailure;
+  }
+  if (dispatch_worker) {
+    // The supervisor merges and emits the JSON; a worker's stdout must
+    // stay silent so it can never interleave with the real artifact.
+    return kExitOk;
   }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -1,5 +1,6 @@
 #include "runner/fault.h"
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
@@ -32,8 +33,44 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kThrow: return "throw";
     case FaultKind::kHang: return "hang";
     case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kWedge: return "wedge";
+    case FaultKind::kKill: return "kill";
   }
   return "?";
+}
+
+bool fault_kind_is_process_fatal(FaultKind kind) {
+  return kind == FaultKind::kCrash || kind == FaultKind::kWedge ||
+         kind == FaultKind::kKill;
+}
+
+std::string to_spec_string(const FaultSpec& spec) {
+  return "shard=" + std::to_string(spec.shard) +
+         ",kind=" + std::string(to_string(spec.kind)) +
+         ",times=" + std::to_string(spec.times);
+}
+
+std::uint64_t backoff_delay_ms(const BackoffSpec& spec, std::size_t shard,
+                               int attempt) {
+  if (attempt <= 0 || spec.base_ms == 0) return 0;
+  // base * 2^(attempt-1), saturating well before overflow.
+  const int exponent = std::min(attempt - 1, 20);
+  const std::uint64_t raw = spec.base_ms << exponent;
+  const std::uint64_t capped = std::min(spec.cap_ms, raw);
+  // Deterministic jitter: FNV-1a over (shard, attempt), modulo a quarter
+  // of the capped delay.  Same (shard, attempt) -> same delay, always.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(shard));
+  mix(static_cast<std::uint64_t>(attempt));
+  const std::uint64_t jitter_window = capped / 4;
+  return capped + (jitter_window > 0 ? h % jitter_window : 0);
 }
 
 std::optional<FaultSpec> parse_fault_spec(const std::string& spec,
@@ -69,8 +106,17 @@ std::optional<FaultSpec> parse_fault_spec(const std::string& spec,
         out.kind = FaultKind::kHang;
       } else if (value == "corrupt") {
         out.kind = FaultKind::kCorrupt;
+      } else if (value == "crash") {
+        out.kind = FaultKind::kCrash;
+      } else if (value == "wedge") {
+        out.kind = FaultKind::kWedge;
+      } else if (value == "kill") {
+        out.kind = FaultKind::kKill;
       } else {
-        if (error) *error = "kind must be throw|hang|corrupt, got '" + value + "'";
+        if (error) {
+          *error = "kind must be throw|hang|corrupt|crash|wedge|kill, got '" +
+                   value + "'";
+        }
         return std::nullopt;
       }
       have_kind = true;
@@ -103,6 +149,19 @@ void FaultInjector::on_task_start(std::size_t task, int attempt) {
       cv_.wait(lock, [this] { return hangs_cancelled_; });
       throw InjectedFault("injected hang in shard " + std::to_string(task) +
                           " cancelled by watchdog");
+    }
+    case FaultKind::kCrash:
+      std::abort();
+    case FaultKind::kKill:
+      (void)std::raise(SIGKILL);
+      std::abort();  // unreachable; SIGKILL cannot be blocked
+    case FaultKind::kWedge: {
+      // A genuine wedge: no condition variable, no cancellation point.
+      // Inside a --dispatch worker only the supervisor's SIGKILL ends it.
+      std::atomic<std::uint64_t> spin{0};
+      for (;;) {
+        spin.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     case FaultKind::kNone:
     case FaultKind::kCorrupt:

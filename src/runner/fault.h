@@ -46,9 +46,26 @@ enum ExitCode : int {
                          ///< --resume to continue (EX_TEMPFAIL)
 };
 
-enum class FaultKind : std::uint8_t { kNone, kThrow, kHang, kCorrupt };
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kThrow,
+  kHang,
+  kCorrupt,
+  // Process-fatal kinds, only meaningful under --dispatch (the CLI rejects
+  // them in-process): a worker subprocess really dies or really wedges, so
+  // the supervisor's crash-isolation and kill-based-watchdog paths are
+  // exercised for real rather than simulated.
+  kCrash,  ///< std::abort() at task start (SIGABRT, like a real bug)
+  kWedge,  ///< spin forever at task start; only SIGKILL reclaims it
+  kKill,   ///< raise(SIGKILL) at task start (OOM-killer shaped death)
+};
 
 [[nodiscard]] const char* to_string(FaultKind kind);
+
+/// True for the kinds that terminate or wedge the whole process - legal
+/// only inside a --dispatch worker subprocess, where the supervisor
+/// converts the death into a retriable shard failure.
+[[nodiscard]] bool fault_kind_is_process_fatal(FaultKind kind);
 
 /// One injected fault: stage-local task index `shard`, fired on the first
 /// `times` attempts (so retries recover once the budget is spent).
@@ -58,10 +75,28 @@ struct FaultSpec {
   int times = 1;
 };
 
-/// Parse "shard=K,kind=throw|hang|corrupt[,times=N]".  Returns std::nullopt
-/// and fills `error` on malformed input.
+/// Parse "shard=K,kind=throw|hang|corrupt|crash|wedge|kill[,times=N]".
+/// Returns std::nullopt and fills `error` on malformed input.
 [[nodiscard]] std::optional<FaultSpec> parse_fault_spec(
     const std::string& spec, std::string* error);
+
+/// Render a spec back to the parse_fault_spec syntax (how the dispatch
+/// supervisor forwards its --inject-fault to worker subprocesses).
+[[nodiscard]] std::string to_spec_string(const FaultSpec& spec);
+
+/// Deterministic exponential backoff for shard retries.  The delay is a
+/// PURE function of (shard, attempt): base * 2^(attempt-1) capped at
+/// `cap_ms`, plus a deterministic jitter (an FNV-style hash of shard and
+/// attempt, modulo a quarter of the uncapped delay) that de-synchronizes
+/// shards failing in lockstep.  Attempt 0 is the first try - no delay;
+/// attempt k >= 1 is the k-th retry.  base_ms == 0 disables backoff.
+struct BackoffSpec {
+  std::uint64_t base_ms = 100;
+  std::uint64_t cap_ms = 5'000;
+};
+
+[[nodiscard]] std::uint64_t backoff_delay_ms(const BackoffSpec& spec,
+                                             std::size_t shard, int attempt);
 
 /// The exception injected faults raise (also after a cancelled hang).
 class InjectedFault : public std::runtime_error {
@@ -103,6 +138,11 @@ class FaultInjector {
   /// Wake every injected hang; the blocked tasks raise InjectedFault in
   /// their own thread, returning the worker to the pool.
   void cancel_hangs();
+
+  /// Drop the spec (kind becomes kNone).  The dispatch supervisor disarms
+  /// process-fatal kinds before a degraded in-process fallback - they were
+  /// only ever legal inside a worker subprocess.
+  void disarm() { spec_ = FaultSpec{}; }
 
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
 

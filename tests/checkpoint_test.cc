@@ -6,8 +6,10 @@
 // golden fixtures, for several k and differing worker counts.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -314,6 +316,24 @@ TEST(CheckpointTest, AtomicWriteReplacesExistingFile) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, AtomicWriteFailsLoudlyAndLeavesNoTempFile) {
+  // Durability is allowed to fail, but never silently: an unwritable
+  // destination must throw with errno detail, leave the old file alone,
+  // and not litter a .tmp alongside it.
+  const std::string path =
+      temp_path("no_such_dir") + "/nested/out.json";
+  try {
+    atomic_write_file(path, "payload");
+    FAIL() << "atomic_write_file must throw for a missing directory";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open temp file"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(read_file(path).empty());
+  EXPECT_TRUE(read_file(path + ".tmp").empty());
+}
+
 // --- FtSession orchestration (toy stage functions) ---------------------------
 
 const TaskCodec<std::uint64_t>& u64_codec() {
@@ -341,6 +361,43 @@ TEST(FtSessionTest, InjectedThrowIsRetriedAndRecovered) {
     EXPECT_EQ(*out.results[i], toy_task(i));
   }
   EXPECT_EQ(session.failed_attempts(), 1u);
+}
+
+TEST(FtSessionTest, TimeBasedCadenceFlushesMidStage) {
+  clear_interrupt();
+  const std::string path = temp_path("interval.bin");
+  std::remove(path.c_str());
+
+  // Count cadence effectively off (flush every 1000 completions), time
+  // cadence at 1 ms: a stage of slow-ish tasks must still flush mid-stage.
+  FtOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 1000;
+  options.checkpoint_interval_ms = 1;
+  FtSession timed(options, "toy", "fp");
+  ThreadPool pool(1);
+  const auto slow_task = [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return toy_task(i);
+  };
+  (void)ft_parallel_map<std::uint64_t>(timed, "s", pool, 6, slow_task,
+                                       u64_codec());
+  // 6 completions at >= 1 ms apart with a 1 ms budget: every completion is
+  // flush-due, and the final stage flush rides on top.
+  EXPECT_GE(timed.flush_count(), 3u);
+  EXPECT_EQ(Checkpoint::load(path).record_count(), 6u);
+  std::remove(path.c_str());
+
+  // Without the interval the same stage coasts on the count cadence and
+  // flushes exactly once, at stage end.
+  clear_interrupt();
+  FtOptions counted = options;
+  counted.checkpoint_interval_ms = 0;
+  FtSession plain(counted, "toy", "fp");
+  (void)ft_parallel_map<std::uint64_t>(plain, "s", pool, 6, slow_task,
+                                       u64_codec());
+  EXPECT_EQ(plain.flush_count(), 1u);
+  std::remove(path.c_str());
 }
 
 TEST(FtSessionTest, InjectedCorruptionIsCaughtByChecksumAndRetried) {
